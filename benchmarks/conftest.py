@@ -1,0 +1,28 @@
+"""Shared benchmark configuration.
+
+Every bench regenerates one of the paper's tables/figures at the bench
+scale (see ``repro.experiments.ExperimentScale.bench`` and DESIGN.md's
+experiment index), times it through pytest-benchmark (single round — each
+"iteration" is a full simulation campaign), prints the paper-style rows,
+and asserts the qualitative claims that define the figure's shape.
+
+Set ``REPRO_BENCH_SCALE=quick`` to smoke the suite in under a minute.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentScale
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    if os.environ.get("REPRO_BENCH_SCALE") == "quick":
+        return ExperimentScale.quick()
+    return ExperimentScale.bench()
+
+
+def run_once(benchmark, fn):
+    """Time ``fn`` exactly once (a campaign, not a microbenchmark)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,33 @@
+"""Bench: Fig. 12 — FM-index based DNA seeding step-by-step.
+
+Paper shape asserted here: BEACON-D's full stack clearly beats MEDAL
+(paper: 4.36x) and the CPU by orders of magnitude; every optimization step
+helps (or is neutral); the coalescing and placement steps are the big D
+levers; the full designs sit within reach of idealized communication.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig12_fm_seeding
+
+
+def test_fig12_fm_seeding(benchmark, scale):
+    result = run_once(benchmark, lambda: fig12_fm_seeding.main(scale))
+
+    for system in ("beacon-d", "beacon-s"):
+        # Every cumulative step is a (near-)improvement on average.
+        for label in result.step_labels(system)[1:]:
+            assert result.mean_step_speedup(system, label) > 0.9, label
+        # Full BEACON beats MEDAL and the CPU.
+        assert result.mean_speedup_vs_baseline(system) > (1.5 if scale.strict else 0.7)
+        assert result.mean_speedup_vs_cpu(system) > 50
+        # Communication is no longer the bottleneck: a solid fraction of
+        # the idealized-communication twin (paper: 96-98%).
+        assert result.mean_percent_of_ideal(system) > (0.5 if scale.strict else 0.2)
+
+    if scale.strict:
+        # BEACON-D's algorithm-specific lever: multi-chip coalescing helps.
+        assert result.mean_step_speedup("beacon-d", "+multi-chip coalescing") > 1.1
+        # Placement & mapping is a major lever for both variants.
+        assert result.mean_step_speedup("beacon-d", "+placement & mapping") > 1.2
+        assert result.mean_step_speedup("beacon-s", "+placement & mapping") > 1.2

@@ -1,0 +1,21 @@
+"""Bench: Fig. 13 — per-chip access balance from multi-chip coalescing.
+
+Paper: without coalescing, per-chip memory access is unevenly distributed;
+with coalescing it is well balanced ("with less variations").
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig13_coalescing
+
+
+def test_fig13_chip_balance(benchmark, scale):
+    result = run_once(benchmark, lambda: fig13_coalescing.main(scale))
+    # Coalescing slashes the imbalance (coefficient of variation).
+    assert result.imbalance_with < result.imbalance_without / 2
+    assert result.imbalance_with < 0.2
+    # Normalized series: with coalescing every chip sits near 1.0.
+    assert max(result.with_coalescing) < 1.3
+    assert min(result.with_coalescing) > 0.7
+    # Without coalescing at least one chip is far above the mean.
+    assert max(result.without_coalescing) > 1.3

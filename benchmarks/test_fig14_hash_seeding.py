@@ -1,0 +1,32 @@
+"""Bench: Fig. 14 — Hash-index based DNA seeding step-by-step.
+
+Paper shape: both variants clearly beat MEDAL (4.70x / 4.57x) and the CPU;
+the memory access optimization is the dominant step; data packing
+contributes little ("the amount of fine-grained memory access in
+Hash-index based DNA seeding is limited").
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig14_hash_seeding
+
+
+def test_fig14_hash_seeding(benchmark, scale):
+    result = run_once(benchmark, lambda: fig14_hash_seeding.main(scale))
+
+    for system in ("beacon-d", "beacon-s"):
+        for label in result.step_labels(system)[1:]:
+            assert result.mean_step_speedup(system, label) > 0.9, label
+        assert result.mean_speedup_vs_baseline(system) > (1.5 if scale.strict else 0.5)
+        assert result.mean_speedup_vs_cpu(system) > 50
+        assert result.mean_percent_of_ideal(system) > (0.5 if scale.strict else 0.2)
+        # Deviation note (EXPERIMENTS.md): the paper's dominant hash step is
+        # the memory access optimization; in this reproduction the placement
+        # & mapping step carries the weight instead (hash traffic is coarse
+        # enough that the host detour hurts less than remote placement).
+        # The preserved shape: placement is a major lever, data packing a
+        # minor one ("the amount of fine-grained memory access in Hash-index
+        # based DNA seeding is limited").
+        if scale.strict:
+            assert result.mean_step_speedup(system, "+placement & mapping") > 1.15
+            assert result.mean_step_speedup(system, "+data packing") < 1.3

@@ -1,0 +1,41 @@
+"""Bench: Fig. 15 — k-mer counting step-by-step.
+
+Paper shape: both BEACON variants end up clearly ahead of NEST (5.19x /
+6.19x); the memory access optimization is the largest communication step;
+single-pass counting is BEACON-S's algorithm-specific lever (1.48x);
+BEACON-S's placement step trades a little performance for energy.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig15_kmer_counting
+
+
+def test_fig15_kmer_counting(benchmark, scale):
+    result = run_once(benchmark, lambda: fig15_kmer_counting.main(scale))
+
+    for system in ("beacon-d", "beacon-s"):
+        sweep = result.sweep(system)
+        # Full BEACON beats NEST and the CPU.
+        assert sweep.speedup_vs_baseline() > (1.1 if scale.strict else 0.3)
+        assert sweep.speedup_vs_cpu() > (30 if scale.strict else 3)
+        # The optimization stack as a whole is a clear net win.
+        assert sweep.total_opt_speedup > (1.5 if scale.strict else 1.0)
+        assert sweep.total_opt_energy_gain > (1.0 if scale.strict else 0.8)
+        # Within reach of idealized communication.
+        assert sweep.percent_of_ideal > (0.25 if scale.strict else 0.1)
+
+    if scale.strict:
+        # BEACON-S: single-pass counting is a real lever (paper: 1.48x).
+        s_steps = {s.label: s for s in result.sweep("beacon-s").steps}
+        assert s_steps["+single-pass counting"].step_speedup > 1.05
+        # The two communication optimizations together are the big k-mer
+        # lever (paper: 1.07x x 2.75x ~ 2.9x).  Deviation note
+        # (EXPERIMENTS.md): the paper attributes most of it to the memory
+        # access optimization; our adaptive Data Packer absorbs the bulk
+        # of the same host-bus relief in the packing step instead.
+        for system in ("beacon-d", "beacon-s"):
+            steps = {s.label: s for s in result.sweep(system).steps}
+            comm_stack = (steps["+data packing"].step_speedup
+                          * steps["+memory access opt"].step_speedup)
+            assert comm_stack > 1.5

@@ -1,0 +1,27 @@
+"""Bench: Fig. 16 — DNA pre-alignment vs the CPU baseline.
+
+Paper: BEACON-D / BEACON-S improve performance by 362x / 359x and energy
+by 387x / 383x over the 48-thread Shouji baseline; the two variants are
+nearly identical on this application.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig16_prealignment
+
+
+def test_fig16_prealignment(benchmark, scale):
+    result = run_once(benchmark, lambda: fig16_prealignment.main(scale))
+
+    for system in ("beacon-d", "beacon-s"):
+        assert result.mean_speedup(system) > (30 if scale.strict else 5)
+        assert result.mean_energy_gain(system) > (10 if scale.strict else 2)
+    # D and S are close on pre-alignment (paper: 362x vs 359x).
+    ratio = result.mean_speedup("beacon-d") / result.mean_speedup("beacon-s")
+    assert 0.5 < ratio < 2.0
+    # Filter quality: true sites within the edit budget are accepted
+    # (reads carry ~1% substitution errors, so a few per hundred truly
+    # exceed 3 edits and are *correctly* rejected), decoys mostly rejected.
+    for outcome in result.outcomes:
+        assert outcome.accepted >= 0.9 * outcome.true_sites
+        assert outcome.rejected > 0

@@ -1,0 +1,22 @@
+"""Bench: Fig. 3 — idealized communication counterfactual for MEDAL/NEST.
+
+Paper: idealized (infinite bandwidth, zero latency) communication speeds
+the prior DDR-DIMM accelerators up 4.36x and improves energy 2.32x on
+average — communication is their bottleneck.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig3_idealized
+
+
+def test_fig3_idealized_communication(benchmark, scale):
+    result = run_once(benchmark, lambda: fig3_idealized.main(scale))
+    # Communication must be a first-order bottleneck for the baselines:
+    # idealizing it buys a substantial factor on both axes.
+    assert result.mean_speedup > (1.3 if scale.strict else 1.05)
+    assert result.mean_energy_gain > (1.3 if scale.strict else 1.05)
+    # Every workload individually benefits (no counterexamples).
+    for gain in result.gains:
+        assert gain.speedup >= 1.0
+        assert gain.energy_gain >= 1.0

@@ -1,0 +1,24 @@
+"""Bench (extension): scalability with pool size — the title's claim.
+
+Weak scaling should be near-perfect (replicated read-only indexes, per-
+switch sharding); strong scaling should show real speedup once the
+workload saturates a single switch.
+"""
+
+from conftest import run_once
+
+from repro.experiments import scalability
+
+
+def test_scalability(benchmark, scale):
+    result = run_once(benchmark, lambda: scalability.main(scale))
+
+    for system in ("beacon-d", "beacon-s"):
+        # Weak scaling: runtime roughly flat as pool and work grow together.
+        assert result.weak_efficiency(system) > 0.6
+        # Strong scaling: a bigger pool never hurts, and helps when the
+        # workload is large enough to saturate a switch.
+        assert result.strong_speedup(system) > (1.25 if scale.strict else 0.9)
+        # Monotonicity: runtime never increases with pool size (fixed work).
+        runtimes = [p.report.runtime_ns for p in result.strong[system]]
+        assert all(b <= a * 1.05 for a, b in zip(runtimes, runtimes[1:]))

@@ -1,0 +1,20 @@
+"""Bench: Section VI-G — aggregate optimization gains.
+
+Paper: the proposed optimizations give BEACON-D 2.21x performance and
+3.70x energy on average, BEACON-S 1.99x / 2.04x, while cutting the
+communication energy share to ~14% / ~13%.
+"""
+
+from conftest import run_once
+
+from repro.experiments import summary
+
+
+def test_sec6g_optimization_summary(benchmark, scale):
+    result = run_once(benchmark, lambda: summary.main(scale))
+
+    for system in ("beacon-d", "beacon-s"):
+        assert result.mean_opt_speedup(system) > (1.5 if scale.strict else 1.0)
+        assert result.mean_opt_energy_gain(system) > (1.2 if scale.strict else 0.8)
+        assert (result.mean_final_comm_share(system)
+                < result.mean_vanilla_comm_share(system))

@@ -1,0 +1,20 @@
+"""Bench: Table I — the experimental configuration echo."""
+
+from conftest import run_once
+
+from repro.core.config import BeaconConfig
+from repro.experiments import tables
+
+
+def test_table1_configuration(benchmark):
+    result = run_once(benchmark, tables.run_table1)
+    config = result.config
+    # Table I invariants.
+    assert config.total_dimms == 8            # 512 GiB pool of 64 GiB DIMMs
+    assert config.geometry.ranks == 4
+    assert config.geometry.chips_per_rank == 16
+    assert config.geometry.bank_groups == 4
+    assert config.timing.tcas == 22
+    assert config.total_pes_d == 256          # 128 PEs per CXLG-DIMM x 2
+    assert config.total_pes_s == 512          # 256 PEs per switch x 2
+    assert len(result.rows) >= 5

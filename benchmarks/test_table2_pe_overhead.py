@@ -1,0 +1,20 @@
+"""Bench: Table II — PE area/power across MEDAL, NEST, BEACON."""
+
+from conftest import run_once
+
+from repro.experiments import tables
+
+
+def test_table2_pe_overhead(benchmark):
+    result = run_once(benchmark, tables.run_table2)
+    hw = result.hardware
+    # Paper's Table II values verbatim.
+    assert round(hw["MEDAL"].area_um2, 2) == 8941.39
+    assert round(hw["NEST"].area_um2, 2) == 16721.12
+    assert round(hw["BEACON"].area_um2, 2) == 14090.23
+    # Section VI-A's conclusion: BEACON's multi-application PE has smaller
+    # or comparable overhead — smaller than NEST's, with the lowest leakage.
+    assert result.beacon_vs_nest["area_ratio"] < 1.0
+    assert hw["BEACON"].leakage_power_uw < hw["MEDAL"].leakage_power_uw
+    assert hw["BEACON"].leakage_power_uw < hw["NEST"].leakage_power_uw
+    assert hw["BEACON"].dynamic_power_mw < hw["MEDAL"].dynamic_power_mw

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Quickstart: simulate FM-index DNA seeding on BEACON-D.
+
+Builds a scaled-down BEACON-D system (CXL memory pool with two switches,
+one CXLG-DIMM each), generates a synthetic genome + reads, runs the full
+optimization stack, and compares against CXL-vanilla, MEDAL, and the
+48-thread CPU model.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.baselines import CpuModel, Medal
+from repro.core import Algorithm, BeaconConfig, BeaconD, OptimizationFlags
+from repro.genomics.workloads import SEEDING_DATASETS, make_seeding_workload
+
+
+def main() -> None:
+    # A scaled simulation: smaller genome/PE counts, same architecture.
+    config = BeaconConfig().scaled(8)
+    workload = make_seeding_workload(SEEDING_DATASETS[0], scale=0.1,
+                                     read_scale=4.0)
+    print(f"dataset {workload.spec.label}: {len(workload.reference):,} bp "
+          f"reference, {len(workload.reads)} reads\n")
+
+    # CXL-vanilla: the naive NDP near the pool, no optimizations.
+    vanilla = BeaconD(config=config, flags=OptimizationFlags.vanilla(),
+                      label="CXL-vanilla")
+    vanilla_report = vanilla.run_fm_seeding(workload)
+    print(vanilla_report.summary())
+
+    # Full BEACON-D: packing + device bias + placement + coalescing.
+    full_flags = OptimizationFlags.all_for("beacon-d", Algorithm.FM_SEEDING)
+    beacon = BeaconD(config=config, flags=full_flags, label="BEACON-D")
+    beacon_report = beacon.run_fm_seeding(workload)
+    print(beacon_report.summary())
+
+    # Baselines.
+    medal_report = Medal(config=config).run_fm_seeding(workload)
+    cpu_report = CpuModel().run_fm_seeding(workload)
+
+    print(f"\nBEACON-D vs CXL-vanilla: "
+          f"x{beacon_report.speedup_vs(vanilla_report):.2f} performance, "
+          f"x{beacon_report.energy_reduction_vs(vanilla_report):.2f} energy")
+    print(f"BEACON-D vs MEDAL:       "
+          f"x{beacon_report.speedup_vs(medal_report):.2f} performance")
+    print(f"BEACON-D vs 48-core CPU: "
+          f"x{beacon_report.speedup_vs(cpu_report):.1f} performance")
+    print(f"\ncommunication energy share: "
+          f"{vanilla_report.comm_energy_fraction:.1%} (vanilla) -> "
+          f"{beacon_report.comm_energy_fraction:.1%} (full)")
+    print(f"PE utilization: {beacon_report.extra['pe_utilization']:.1%}; "
+          f"DIMM-local requests: "
+          f"{beacon_report.extra['local_requests'] / beacon_report.mem_requests:.1%}")
+
+
+if __name__ == "__main__":
+    main()

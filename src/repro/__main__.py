@@ -1,0 +1,82 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro list                 # what can be regenerated
+    python -m repro fig12                # one figure at bench scale
+    python -m repro fig15 --quick        # one figure at smoke scale
+    python -m repro all                  # the whole evaluation section
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import ExperimentScale
+from repro.experiments import (
+    fig3_idealized,
+    fig12_fm_seeding,
+    fig13_coalescing,
+    fig14_hash_seeding,
+    fig15_kmer_counting,
+    fig16_prealignment,
+    fig17_energy_breakdown,
+    summary,
+    tables,
+)
+
+EXPERIMENTS = {
+    "fig3": ("idealized communication for prior DDR-DIMM NDP",
+             lambda scale: fig3_idealized.main(scale)),
+    "fig12": ("FM-index DNA seeding, step-by-step",
+              lambda scale: fig12_fm_seeding.main(scale)),
+    "fig13": ("per-chip balance from multi-chip coalescing",
+              lambda scale: fig13_coalescing.main(scale)),
+    "fig14": ("Hash-index DNA seeding, step-by-step",
+              lambda scale: fig14_hash_seeding.main(scale)),
+    "fig15": ("k-mer counting, step-by-step",
+              lambda scale: fig15_kmer_counting.main(scale)),
+    "fig16": ("DNA pre-alignment vs CPU",
+              lambda scale: fig16_prealignment.main(scale)),
+    "fig17": ("energy breakdown across the stack",
+              lambda scale: fig17_energy_breakdown.main(scale)),
+    "table1": ("experimental configuration", lambda scale: tables.main()),
+    "table2": ("PE hardware overhead", lambda scale: tables.main()),
+    "sec6g": ("aggregate optimization gains",
+              lambda scale: summary.main(scale)),
+}
+
+
+def main(argv=None) -> int:
+    """Run the experiment and print the paper-style rows."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the BEACON paper's evaluation artifacts.",
+    )
+    parser.add_argument("experiment",
+                        choices=sorted(EXPERIMENTS) + ["all", "list"],
+                        help="which table/figure to regenerate")
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke scale (seconds instead of minutes)")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name, (description, _run) in sorted(EXPERIMENTS.items()):
+            print(f"  {name:8s} {description}")
+        return 0
+
+    scale = ExperimentScale.quick() if args.quick else ExperimentScale.bench()
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        description, run = EXPERIMENTS[name]
+        print(f"\n=== {name}: {description} ===")
+        started = time.time()
+        run(scale)
+        print(f"[{name} took {time.time() - started:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

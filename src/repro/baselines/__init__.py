@@ -1,0 +1,22 @@
+"""Baseline systems the paper compares against.
+
+* :class:`~repro.baselines.cpu.CpuModel` — the 48-thread Xeon software
+  baselines (BWA-MEM, SMALT, BFCounter, Shouji), as an analytic
+  throughput/energy model.
+* :class:`~repro.baselines.medal.Medal` — MEDAL (MICRO'19): DDR-DIMM NDP
+  accelerator for FM/Hash-index DNA seeding.
+* :class:`~repro.baselines.nest.Nest` — NEST (ICCAD'20): DDR-DIMM NDP
+  accelerator for k-mer counting with per-DIMM Bloom filters.
+
+The DDR baselines run on the same simulator substrate as BEACON (same DRAM
+devices, same PEs per Section VI-A) but behind shared DDR channels with
+host-mediated inter-DIMM communication — the topology whose communication
+bottleneck motivates the paper.
+"""
+
+from repro.baselines.cpu import CpuConfig, CpuModel
+from repro.baselines.ddr import DdrNdpSystem
+from repro.baselines.medal import Medal
+from repro.baselines.nest import Nest
+
+__all__ = ["CpuConfig", "CpuModel", "DdrNdpSystem", "Medal", "Nest"]

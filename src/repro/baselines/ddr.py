@@ -1,0 +1,88 @@
+"""Shared base for the DDR-DIMM NDP baselines (MEDAL / NEST).
+
+Topology (Table I: 2 DDR channels, customized DIMMs only): the host fronts
+``num_switches`` DDR channels, each a multidrop bus shared by
+``dimms_per_switch`` customized DIMMs.  Every DIMM carries an NDP module
+(same PEs as BEACON, Section VI-A) and supports MEDAL-style fine-grained
+single-chip access.  All inter-DIMM traffic is host-mediated: onto the
+shared channel, through the host memory controller, back down a channel —
+the 12x intra/inter bandwidth gap of Fig. 1.
+
+The baselines use their papers' *fixed* address mapping (everything striped
+across all DIMMs, chip-interleaved fine-grained) — no data packing, no
+device bias, no BEACON placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.beacon import BeaconSystem
+from repro.core.config import BeaconConfig, OptimizationFlags
+from repro.core.ndp_module import NdpModule
+from repro.dram.dimm import DimmKind
+from repro.memmgmt.placement import PlacementPlanner
+
+
+class DdrNdpSystem(BeaconSystem):
+    """DDR-DIMM NDP accelerator: host + shared channels + custom DIMMs."""
+
+    variant = "ddr-ndp"
+    pe_hw_key = "BEACON"
+
+    def __init__(self, config: BeaconConfig = BeaconConfig(), label: str = "") -> None:
+        # The baselines have no BEACON optimizations; the flags only exist
+        # so the shared machinery (comm flags, planner) stays uniform.
+        super().__init__(config=config, flags=OptimizationFlags.vanilla(),
+                         label=label)
+
+    def _build_topology(self) -> None:
+        cfg = self.config
+        fabric = self.pool.fabric
+        fabric.add_host()
+        for c in range(cfg.num_switches):
+            channel = f"ch{c}"
+            fabric.add_ddr_channel_node(channel)
+            for j in range(cfg.dimms_per_switch):
+                node = f"m{c}.{j}"
+                index = self.pool.add_dimm(node, channel, DimmKind.DDR_CUSTOM)
+                # is_cxlg here means "fine-grained-capable accelerator DIMM";
+                # the baselines customize every DIMM (Section VI-A: "all the
+                # DIMMs in the NDP baselines are customized DIMMs").
+                self.allocator.register_dimm(
+                    index, node, channel, is_cxlg=True, tenant_bytes=0,
+                )
+                self.ndp_modules.append(
+                    NdpModule(
+                        self.engine, f"ndp{index}", self.root, node=node,
+                        num_pes=cfg.baseline_pes_per_dimm, pool=self.pool,
+                        region_map=self.allocator.region_map,
+                    )
+                )
+        # MEDAL/NEST ship tasks to the DIMM owning the data (one small
+        # one-way message over the channel) instead of fetching remote data.
+        peers = {module.node: module for module in self.ndp_modules}
+        for module in self.ndp_modules:
+            module.migration_peers = peers
+
+    def _make_planner(self) -> PlacementPlanner:
+        return PlacementPlanner(
+            self.allocator, self.config.geometry,
+            optimized=False,
+            fine_grained_chips=self.config.fine_grained_chips,
+            baseline_fixed=True,
+        )
+
+    def idealized_twin(self) -> "DdrNdpSystem":
+        """Same system with idealized communication (the Fig. 3 study)."""
+        twin = type(self)(config=self.config_with_ideal_comm(),
+                          label=f"{self.label}-ideal")
+        return twin
+
+    def config_with_ideal_comm(self) -> BeaconConfig:
+        return self.config.idealized()
+
+
+def ddr_baseline_config(base: BeaconConfig = BeaconConfig()) -> BeaconConfig:
+    """Table I's MEDAL/NEST configuration knobs applied to a base config."""
+    return replace(base)

@@ -1,0 +1,19 @@
+"""MEDAL (Huangfu et al., MICRO 2019): DDR-DIMM NDP for DNA seeding.
+
+MEDAL customizes DDR4 LRDIMMs with per-chip chip selects and an in-buffer
+accelerator; its index is distributed across all DIMMs with a fixed address
+mapping, and inter-DIMM traffic crosses the shared DDR channel through the
+host — the 12x bandwidth gap BEACON's Fig. 1 highlights.  It is the
+hardware baseline for FM-index and Hash-index seeding (Figs. 12 and 14).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.ddr import DdrNdpSystem
+
+
+class Medal(DdrNdpSystem):
+    """MEDAL: fine-grained DDR-DIMM seeding accelerator."""
+
+    variant = "medal"
+    pe_hw_key = "MEDAL"

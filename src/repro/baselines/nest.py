@@ -1,0 +1,28 @@
+"""NEST (Huangfu et al., ICCAD 2020): DDR-DIMM NDP for k-mer counting.
+
+NEST's defining trait is its *multi-pass*, DIMM-local flow (Section IV-D of
+the BEACON paper): every DIMM builds a private counting Bloom filter over
+the whole input, the filters are merged into a global one that is
+replicated back to every DIMM, and counting re-processes the entire input
+against the local copy.  Random filter accesses therefore never leave a
+DIMM, at the price of streaming the input twice plus the merge broadcast.
+It is the hardware baseline for k-mer counting (Fig. 15).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.ddr import DdrNdpSystem
+
+
+class Nest(DdrNdpSystem):
+    """NEST: multi-pass, DIMM-local k-mer counting accelerator."""
+
+    variant = "nest"
+    pe_hw_key = "NEST"
+
+    def _bloom_region_for(self, module_index: int, size: int):
+        """NEST pins each NDP module's filter to its own DIMM."""
+        return self.planner.bloom_filter(
+            f"bloom{module_index}", size,
+            home_dimm=self._module_dimm(module_index),
+        )

@@ -1,0 +1,41 @@
+"""BEACON core: the paper's contribution.
+
+Ties the substrates together into the evaluated systems:
+
+* :class:`~repro.core.beacon.BeaconD` — Processing-In-DIMM: NDP modules on
+  CXLG-DIMMs (Fig. 4 (a)).
+* :class:`~repro.core.beacon.BeaconS` — Processing-In-Switch: NDP modules in
+  the CXL switches (Fig. 4 (b)).
+
+plus the NDP module internals (PEs, Task Scheduler, Address Translator,
+I/O buffer), the Switch-Logic (Bus CtrL, Data Packer, MC, Atomic Engine),
+the optimization flags, and the performance/energy reports.
+"""
+
+from repro.core.config import (
+    Algorithm,
+    BeaconConfig,
+    OptimizationFlags,
+    PE_COMPUTE_CYCLES,
+)
+from repro.core.hwmodel import PE_HARDWARE, PeHardware
+from repro.core.task import AccessSpec, ComputeStep, MemStep, Task
+from repro.core.metrics import Report
+from repro.core.beacon import BeaconD, BeaconS, BeaconSystem
+
+__all__ = [
+    "AccessSpec",
+    "Algorithm",
+    "BeaconConfig",
+    "BeaconD",
+    "BeaconS",
+    "BeaconSystem",
+    "ComputeStep",
+    "MemStep",
+    "OptimizationFlags",
+    "PE_COMPUTE_CYCLES",
+    "PE_HARDWARE",
+    "PeHardware",
+    "Report",
+    "Task",
+]

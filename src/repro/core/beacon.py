@@ -1,0 +1,584 @@
+"""BEACON system assembly and workload runners.
+
+:class:`BeaconSystem` builds one complete simulated machine — pool topology,
+NDP modules, Switch-Logic, memory-management framework — for one
+(variant, optimization-flags) point, and exposes one runner per target
+application.  Each runner is execution-driven: it builds the real index
+structures, lets the memory-management framework place them, turns every
+read into a task whose generator runs the actual algorithm, streams the
+tasks from the host into the NDP modules over the fabric, and runs the
+event engine to completion.
+
+A system instance is single-shot: build, run one workload, read the report.
+The experiment harness creates a fresh instance per matrix point, which
+keeps runs independent and deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import Algorithm, BeaconConfig, OptimizationFlags
+from repro.core.hwmodel import PE_HARDWARE
+from repro.core.metrics import Report
+from repro.core.ndp_module import NdpModule
+from repro.core.switch_logic import SwitchLogicD, SwitchLogicS
+from repro.core.task import (
+    BloomAccessor,
+    FmIndexAccessor,
+    HashIndexAccessor,
+    ReferenceAccessor,
+    Task,
+    fm_seeding_steps,
+    hash_seeding_steps,
+    kmer_insert_steps,
+    kmer_query_steps,
+    prealign_steps,
+)
+from repro.cxl.flit import MessageKind
+from repro.cxl.topology import MemoryPool
+from repro.dram.dimm import DimmKind
+from repro.genomics.bloom import CountingBloomFilter
+from repro.genomics.fm_index import FMIndex
+from repro.genomics.hash_index import HashIndex
+from repro.genomics.prealign import PrealignResult, ShoujiFilter
+from repro.genomics.workloads import SeedingWorkload, make_prealign_pairs
+from repro.memmgmt.allocator import PoolAllocator
+from repro.memmgmt.framework import AllocationRequest, MemoryManagementFramework
+from repro.memmgmt.placement import PlacementPlanner
+from repro.sim.component import Component
+from repro.sim.engine import Engine, SimulationError
+
+
+class BeaconSystem:
+    """One simulated accelerator system (base for BEACON-D / BEACON-S)."""
+
+    #: Subclasses set these.
+    variant: str = "beacon"
+    pe_hw_key: str = "BEACON"
+    #: Whether k-mer counting uses the single-pass global-filter flow even
+    #: without the BEACON-S flag.  BEACON-D's Atomic Engines make the
+    #: global filter the natural flow (one pass over the input, RMWs
+    #: resolved at the owning switch); NEST and BEACON-S-without-the-
+    #: optimization run the multi-pass flow of Section IV-D.
+    kmer_single_pass_default: bool = False
+
+    def __init__(
+        self,
+        config: BeaconConfig = BeaconConfig(),
+        flags: OptimizationFlags = OptimizationFlags(),
+        label: str = "",
+    ) -> None:
+        self.config = config.with_flags(flags)
+        self.flags = flags
+        self.label = label or self.variant
+        self.engine = Engine()
+        self.root = Component(self.engine, self.label)
+        self.pool = MemoryPool(
+            self.engine, "pool", self.root, self.config.comm,
+            geometry=self.config.geometry, timing=self.config.timing,
+        )
+        self.allocator = PoolAllocator()
+        self.ndp_modules: List[NdpModule] = []
+        self._build_topology()
+        self.framework = MemoryManagementFramework(
+            self.engine, "framework", self.root, self.pool, self.allocator
+        )
+        self.planner = self._make_planner()
+        self.framework.dedicate_dimms(self.allocator.all_dimms(), owner=self.label)
+        self._consumed = False
+
+    # -- construction (variant-specific) -------------------------------------------
+
+    def _build_topology(self) -> None:
+        raise NotImplementedError
+
+    def _make_planner(self) -> PlacementPlanner:
+        cfg = self.config
+        fine = (
+            cfg.coalesce_chips
+            if self.flags.multi_chip_coalescing
+            else cfg.fine_grained_chips
+        )
+        return PlacementPlanner(
+            self.allocator, cfg.geometry,
+            optimized=self.flags.data_placement,
+            fine_grained_chips=fine,
+            near_fraction=cfg.near_fraction,
+        )
+
+    # -- shared helpers ----------------------------------------------------------------
+
+    def _allocate(self, request: AllocationRequest, build) -> object:
+        response = self.framework.allocate(request, build)
+        if not response.success:
+            raise RuntimeError(f"allocation failed: {response.error}")
+        return response.region
+
+    def _dispatch_and_run(self, tasks_per_module: Sequence[Sequence[Task]]) -> None:
+        """Stream tasks host -> NDP modules, then run to completion."""
+        total = sum(len(t) for t in tasks_per_module)
+        if total == 0:
+            return
+        fabric = self.pool.fabric
+        assert fabric.host is not None
+        before = sum(m.tasks_completed for m in self.ndp_modules)
+        for module, tasks in zip(self.ndp_modules, tasks_per_module):
+            route = fabric.route(fabric.host.name, module.node)
+            for task in tasks:
+                fabric.send(
+                    route, MessageKind.TASK, task.payload_bytes,
+                    on_delivered=(lambda m=module, t=task: m.submit_task(t)),
+                )
+        self.engine.run()
+        completed = sum(m.tasks_completed for m in self.ndp_modules) - before
+        if completed != total:
+            raise SimulationError(
+                f"{self.label}: {completed}/{total} tasks completed; "
+                "the simulation deadlocked"
+            )
+
+    def _shard(self, items: Sequence) -> List[List]:
+        """Round-robin split across the NDP modules."""
+        shards: List[List] = [[] for _ in self.ndp_modules]
+        for i, item in enumerate(items):
+            shards[i % len(shards)].append(item)
+        return shards
+
+    def _task_payload(self, read: str) -> int:
+        """TASK message payload: 2-bit-packed read + metadata."""
+        return len(read) // 4 + 8
+
+    def _finish_report(
+        self, algorithm: Algorithm, dataset: str, tasks_completed: int
+    ) -> Report:
+        end = self.engine.now
+        for dimm in self.pool.dimms:
+            dimm.energy.finalize(end)
+        stats = self.root.stats
+        dram_nj = (
+            stats.total("energy_act_nj")
+            + stats.total("energy_rw_nj")
+            + stats.total("energy_refresh_nj")
+            + stats.total("energy_background_nj")
+        )
+        comm_nj = stats.total("energy_pj") / 1000.0
+        busy = sum(m.pes.total_compute_cycles for m in self.ndp_modules)
+        num_pes = sum(m.pes.num_pes for m in self.ndp_modules)
+        compute_nj = PE_HARDWARE[self.pe_hw_key].compute_energy_nj(
+            busy_cycles=busy, total_cycles=end,
+            tck_ns=self.config.timing.tck_ns, num_pes=num_pes,
+        )
+        return Report(
+            label=self.label,
+            system=self.variant,
+            algorithm=algorithm.value,
+            dataset=dataset,
+            runtime_cycles=end,
+            tck_ns=self.config.timing.tck_ns,
+            energy_dram_nj=dram_nj,
+            energy_comm_nj=comm_nj,
+            energy_compute_nj=compute_nj,
+            tasks_completed=tasks_completed,
+            mem_requests=int(stats.total("mem_requests")),
+            wire_bytes=stats.total("wire_bytes"),
+            useful_bytes=stats.total("useful_bytes"),
+            extra={
+                "pe_utilization": float(np.mean(
+                    [m.pes.utilization(end) for m in self.ndp_modules]
+                )) if self.ndp_modules else 0.0,
+                "local_requests": stats.total("local_requests"),
+                "host_detours": stats.total("detour_messages"),
+                "in_switch_turnarounds": stats.total("in_switch_turnarounds"),
+                "dram_activations": float(sum(
+                    d.total_activations for d in self.pool.dimms
+                )),
+            },
+        )
+
+    def _consume(self) -> None:
+        if self._consumed:
+            raise RuntimeError(
+                "BeaconSystem instances are single-shot; build a new one per run"
+            )
+        self._consumed = True
+
+    # -- FM-index based DNA seeding ------------------------------------------------------
+
+    def _profile_fm_blocks(self, fm: FMIndex, reads: Sequence[str],
+                           sample_fraction: float = 0.1) -> np.ndarray:
+        """Access-frequency profile used for hot-block placement.
+
+        The framework profiles a sample of the input (the paper's "data
+        type information ... provided to the BEACON framework"): early
+        backward-search steps hammer a small set of occ blocks, and those
+        belong on the CXLG-DIMMs.
+        """
+        counts = np.zeros(fm.num_blocks, dtype=np.int64)
+        sample = reads[: max(1, int(len(reads) * sample_fraction))]
+        for read in sample:
+            for step in fm.search_trace(read):
+                for block in step.blocks:
+                    counts[block] += 1
+        return counts
+
+    def run_fm_seeding(self, workload: SeedingWorkload) -> Report:
+        """FM-index based DNA seeding over one dataset."""
+        self._consume()
+        fm = FMIndex(workload.reference)
+        hot = (
+            self._profile_fm_blocks(fm, workload.reads)
+            if self.flags.data_placement
+            else None
+        )
+        region = self._allocate(
+            AllocationRequest(
+                application="dna_seeding", algorithm="fm_backward_search",
+                dataset=workload.name, size_bytes=fm.size_bytes,
+            ),
+            lambda: self.planner.fm_index(
+                "fm_index", fm.num_blocks, FMIndex.BLOCK_BYTES, hot
+            ),
+        )
+        accessor = FmIndexAccessor(fm, region)
+        tasks = [
+            Task(
+                algorithm=Algorithm.FM_SEEDING,
+                steps=fm_seeding_steps(accessor, read),
+                payload_bytes=self._task_payload(read),
+            )
+            for read in workload.reads
+        ]
+        self._dispatch_and_run(self._shard(tasks))
+        return self._finish_report(Algorithm.FM_SEEDING, workload.name, len(tasks))
+
+    # -- Hash-index based DNA seeding -------------------------------------------------------
+
+    def run_hash_seeding(
+        self,
+        workload: SeedingWorkload,
+        k: int = 13,
+        bucket_load: int = 4,
+    ) -> Report:
+        """Hash-index (SMALT-style) DNA seeding over one dataset."""
+        self._consume()
+        positions = len(workload.reference) - k + 1
+        index = HashIndex(
+            workload.reference, k=k, stride=1,
+            num_buckets=max(64, positions // bucket_load),
+        )
+        directory = self._allocate(
+            AllocationRequest(
+                application="dna_seeding", algorithm="hash_index",
+                dataset=workload.name, size_bytes=index.directory_bytes,
+            ),
+            lambda: self.planner.hash_directory("hash_dir", index.directory_bytes),
+        )
+        locations = self._allocate(
+            AllocationRequest(
+                application="dna_seeding", algorithm="hash_index",
+                dataset=workload.name, size_bytes=index.locations_bytes,
+            ),
+            lambda: self.planner.hash_locations("hash_loc", index.locations_bytes),
+        )
+        accessor = HashIndexAccessor(index, directory, locations)
+        tasks = [
+            Task(
+                algorithm=Algorithm.HASH_SEEDING,
+                steps=hash_seeding_steps(accessor, read),
+                payload_bytes=self._task_payload(read),
+            )
+            for read in workload.reads
+        ]
+        self._dispatch_and_run(self._shard(tasks))
+        return self._finish_report(Algorithm.HASH_SEEDING, workload.name, len(tasks))
+
+    # -- k-mer counting ------------------------------------------------------------------------
+
+    def run_kmer_counting(
+        self,
+        workload: SeedingWorkload,
+        k: int = 15,
+        num_counters: int = 1 << 18,
+    ) -> Report:
+        """k-mer counting: single-pass when the flag is set, else multi-pass.
+
+        Returns the report; the functional filters are exposed afterwards as
+        ``self.kmer_filters`` (per module) / ``self.kmer_global_filter``.
+        """
+        self._consume()
+        if self.flags.single_pass_kmer or self.kmer_single_pass_default:
+            report = self._run_kmer_single_pass(workload, k, num_counters)
+        else:
+            report = self._run_kmer_multi_pass(workload, k, num_counters)
+        return report
+
+    def _bloom_region_for(self, module_index: int, size: int):
+        """Placement home of one module's Bloom filter (variant hook)."""
+        module = self.ndp_modules[module_index]
+        home_switch = self.pool.owner_switch(self._module_dimm(module_index)) \
+            if module.node in self.pool.dimm_nodes else module.node
+        return self.planner.bloom_filter(
+            f"bloom{module_index}", size, home_switch=home_switch
+        )
+
+    def _module_dimm(self, module_index: int) -> int:
+        module = self.ndp_modules[module_index]
+        return self.pool.dimm_nodes.index(module.node)
+
+    def _run_kmer_single_pass(self, workload, k: int, num_counters: int) -> Report:
+        bloom = CountingBloomFilter(num_counters, num_hashes=4, counter_bits=4)
+        region = self._allocate(
+            AllocationRequest(
+                application="kmer_counting", algorithm="single_pass",
+                dataset=workload.name, size_bytes=bloom.size_bytes,
+            ),
+            lambda: self.planner.bloom_filter("bloom_global", bloom.size_bytes,
+                                              home_switch=None),
+        )
+        accessor = BloomAccessor(bloom, region)
+        shards = self._shard(workload.reads)
+        tasks_per_module = [
+            [
+                Task(
+                    algorithm=Algorithm.KMER_COUNTING,
+                    steps=kmer_insert_steps(accessor, read, k),
+                    payload_bytes=self._task_payload(read),
+                )
+                for read in shard
+            ]
+            for shard in shards
+        ]
+        self._dispatch_and_run(tasks_per_module)
+        self.kmer_global_filter = bloom
+        self.kmer_filters = [bloom]
+        return self._finish_report(
+            Algorithm.KMER_COUNTING, workload.name, len(workload.reads)
+        )
+
+    def _run_kmer_multi_pass(self, workload, k: int, num_counters: int) -> Report:
+        """NEST's flow: local build (pass 1) -> merge/broadcast -> recount
+        (pass 2).  Both passes process the entire input (Section IV-D)."""
+        locals_: List[CountingBloomFilter] = [
+            CountingBloomFilter(num_counters, num_hashes=4, counter_bits=4)
+            for _ in self.ndp_modules
+        ]
+        regions = []
+        for m, bloom in enumerate(locals_):
+            regions.append(
+                self._allocate(
+                    AllocationRequest(
+                        application="kmer_counting", algorithm="multi_pass",
+                        dataset=workload.name, size_bytes=bloom.size_bytes,
+                    ),
+                    lambda m=m, bloom=bloom: self._bloom_region_for(m, bloom.size_bytes),
+                )
+            )
+        shards = self._shard(workload.reads)
+        # Pass 1: every module builds its local filter over its shard.
+        pass1 = [
+            [
+                Task(
+                    algorithm=Algorithm.KMER_COUNTING,
+                    steps=kmer_insert_steps(BloomAccessor(locals_[m], regions[m]), read, k),
+                    payload_bytes=self._task_payload(read),
+                )
+                for read in shard
+            ]
+            for m, shard in enumerate(shards)
+        ]
+        self._dispatch_and_run(pass1)
+        # Merge: locals -> host, merge, broadcast the global filter back.
+        global_filter = CountingBloomFilter(num_counters, num_hashes=4, counter_bits=4)
+        for bloom in locals_:
+            global_filter.merge(bloom)
+        self._transfer_filters(locals_[0].size_bytes)
+        # Pass 2: every module re-processes its shard against its own copy
+        # of the global filter (plain reads: abundance queries).
+        pass2 = [
+            [
+                Task(
+                    algorithm=Algorithm.KMER_COUNTING,
+                    steps=kmer_query_steps(
+                        BloomAccessor(global_filter, regions[m]), read, k
+                    ),
+                    payload_bytes=self._task_payload(read),
+                )
+                for read in shard
+            ]
+            for m, shard in enumerate(shards)
+        ]
+        self._dispatch_and_run(pass2)
+        self.kmer_global_filter = global_filter
+        self.kmer_filters = locals_
+        return self._finish_report(
+            Algorithm.KMER_COUNTING, workload.name, 2 * len(workload.reads)
+        )
+
+    def _transfer_filters(self, filter_bytes: int) -> None:
+        """Merge-phase communication: locals to the host, global back out."""
+        fabric = self.pool.fabric
+        assert fabric.host is not None
+        pending = {"n": 2 * len(self.ndp_modules)}
+
+        def arrived() -> None:
+            pending["n"] -= 1
+
+        for module in self.ndp_modules:
+            up = fabric.route(module.node, fabric.host.name)
+            down = fabric.route(fabric.host.name, module.node)
+            fabric.send(up, MessageKind.CONTROL, filter_bytes, on_delivered=arrived)
+            fabric.send(down, MessageKind.CONTROL, filter_bytes, on_delivered=arrived)
+        self.engine.run()
+        if pending["n"]:
+            raise SimulationError("filter merge transfers did not complete")
+
+    # -- DNA pre-alignment ----------------------------------------------------------------------
+
+    def run_prealignment(
+        self,
+        workload: SeedingWorkload,
+        max_edits: int = 3,
+        candidates_per_read: int = 4,
+    ) -> Report:
+        """Shouji-style pre-alignment over seeding candidates."""
+        self._consume()
+        pairs = make_prealign_pairs(workload, max_edits, candidates_per_read)
+        ref_bytes = -(-len(workload.reference) // 4)
+        region = self._allocate(
+            AllocationRequest(
+                application="prealignment", algorithm="shouji",
+                dataset=workload.name, size_bytes=ref_bytes,
+            ),
+            lambda: self.planner.reference("reference", ref_bytes),
+        )
+        accessor = ReferenceAccessor(region)
+        shouji = ShoujiFilter(max_edits=max_edits)
+        self.prealign_results: List[PrealignResult] = []
+        tasks = [
+            Task(
+                algorithm=Algorithm.PREALIGNMENT,
+                steps=prealign_steps(
+                    accessor, shouji, pair, pair.window_start, self.prealign_results
+                ),
+                payload_bytes=self._task_payload(pair.read),
+            )
+            for pair in pairs
+        ]
+        self._dispatch_and_run(self._shard(tasks))
+        return self._finish_report(Algorithm.PREALIGNMENT, workload.name, len(tasks))
+
+    # -- Section V extension point -----------------------------------------------------------------
+
+    def allocate_custom_region(self, name: str, size_bytes: int,
+                               spatially_local: bool = False):
+        """Allocate a region for a custom application (Section V).
+
+        ``spatially_local`` picks between the two data-aware mapping
+        families: row-major placement for streaming/sequential structures,
+        or fine-grained interleaving for random-probe structures.
+        """
+        build = (
+            (lambda: self.planner.reference(name, size_bytes))
+            if spatially_local
+            else (lambda: self.planner.hash_directory(name, size_bytes))
+        )
+        return self._allocate(
+            AllocationRequest(application="custom", algorithm="custom",
+                              dataset=name, size_bytes=size_bytes),
+            build,
+        )
+
+    def run_custom(self, app, tasks: Sequence[Task]) -> Report:
+        """Run a custom application's tasks on the unchanged NDP machinery."""
+        self._consume()
+        tasks = list(tasks)
+        self._dispatch_and_run(self._shard(tasks))
+        return self._finish_report(Algorithm.CUSTOM, app.name, len(tasks))
+
+    # -- generic dispatch --------------------------------------------------------------------------
+
+    def run_algorithm(self, algorithm: Algorithm, workload: SeedingWorkload,
+                      **kwargs) -> Report:
+        """Run any of the four applications by enum (harness convenience)."""
+        runners: Dict[Algorithm, Callable] = {
+            Algorithm.FM_SEEDING: self.run_fm_seeding,
+            Algorithm.HASH_SEEDING: self.run_hash_seeding,
+            Algorithm.KMER_COUNTING: self.run_kmer_counting,
+            Algorithm.PREALIGNMENT: self.run_prealignment,
+        }
+        return runners[algorithm](workload, **kwargs)
+
+
+class BeaconD(BeaconSystem):
+    """BEACON-D: Processing-In-DIMM on CXLG-DIMMs (Fig. 4 (a))."""
+
+    variant = "beacon-d"
+    pe_hw_key = "BEACON"
+    kmer_single_pass_default = True
+
+    def _build_topology(self) -> None:
+        cfg = self.config
+        fabric = self.pool.fabric
+        fabric.add_host()
+        self.switch_logics: List[SwitchLogicD] = []
+        for s in range(cfg.num_switches):
+            switch = fabric.add_switch(f"sw{s}")
+            self.switch_logics.append(
+                SwitchLogicD(
+                    self.engine, f"swlogic{s}", self.root, switch, self.pool,
+                    num_atomic_engines=cfg.atomic_engines_per_switch,
+                    atomic_compute_cycles=cfg.atomic_compute_cycles,
+                )
+            )
+            for j in range(cfg.dimms_per_switch):
+                is_cxlg = j < cfg.cxlg_per_switch
+                node = f"d{s}.{j}"
+                index = self.pool.add_dimm(
+                    node, f"sw{s}",
+                    DimmKind.CXLG if is_cxlg else DimmKind.UNMODIFIED_CXL,
+                )
+                self.allocator.register_dimm(
+                    index, node, f"sw{s}", is_cxlg=is_cxlg,
+                    tenant_bytes=1 << 20,
+                )
+                if is_cxlg:
+                    self.ndp_modules.append(
+                        NdpModule(
+                            self.engine, f"ndp{index}", self.root, node=node,
+                            num_pes=cfg.pes_per_cxlg, pool=self.pool,
+                            region_map=self.allocator.region_map,
+                        )
+                    )
+
+
+class BeaconS(BeaconSystem):
+    """BEACON-S: Processing-In-Switch, all DIMMs unmodified (Fig. 4 (b))."""
+
+    variant = "beacon-s"
+    pe_hw_key = "BEACON"
+
+    def _build_topology(self) -> None:
+        cfg = self.config
+        fabric = self.pool.fabric
+        fabric.add_host()
+        self.switch_logics: List[SwitchLogicS] = []
+        for s in range(cfg.num_switches):
+            switch = fabric.add_switch(f"sw{s}")
+            logic = SwitchLogicS(
+                self.engine, f"swlogic{s}", self.root, switch, self.pool,
+                region_map=self.allocator.region_map,
+                num_pes=cfg.pes_per_switch,
+                atomic_compute_cycles=cfg.atomic_compute_cycles,
+            )
+            self.switch_logics.append(logic)
+            self.ndp_modules.append(logic.ndp)
+            for j in range(cfg.dimms_per_switch):
+                node = f"d{s}.{j}"
+                index = self.pool.add_dimm(node, f"sw{s}", DimmKind.UNMODIFIED_CXL)
+                self.allocator.register_dimm(
+                    index, node, f"sw{s}", is_cxlg=False,
+                    tenant_bytes=1 << 20,
+                )

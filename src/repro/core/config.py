@@ -1,0 +1,177 @@
+"""System configuration and optimization flags (Table I + Section IV).
+
+The experiment matrix of Figs. 12-16 is "a system (BEACON-D / BEACON-S /
+baseline) x a cumulative stack of optimizations"; :class:`OptimizationFlags`
+encodes one point of that stack and
+:meth:`OptimizationFlags.cumulative_steps` generates the whole step-by-step
+sequence in the paper's order.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Tuple
+
+from repro.cxl.topology import CommParams
+from repro.dram.timing import DimmGeometry, DramTiming
+
+
+class Algorithm(enum.Enum):
+    """The four target applications (Fig. 2), plus the extension bucket.
+
+    ``CUSTOM`` is the Section V extension point: applications added by
+    replacing the PEs (graph processing, database searching, ...) are
+    accounted under it.
+    """
+
+    FM_SEEDING = "fm_seeding"
+    HASH_SEEDING = "hash_seeding"
+    KMER_COUNTING = "kmer_counting"
+    PREALIGNMENT = "prealignment"
+    CUSTOM = "custom"
+
+
+#: PE computational latencies in DRAM cycles (Section VI-A: "equal to 16,
+#: 10, 59, and 82 DRAM cycles").
+PE_COMPUTE_CYCLES: Dict[Algorithm, int] = {
+    Algorithm.FM_SEEDING: 16,
+    Algorithm.HASH_SEEDING: 10,
+    Algorithm.KMER_COUNTING: 59,
+    Algorithm.PREALIGNMENT: 82,
+}
+
+
+@dataclass(frozen=True)
+class OptimizationFlags:
+    """One point in the cumulative optimization stack.
+
+    Order in the paper (Figs. 12/14/15): vanilla -> + data packing ->
+    + memory access optimization -> + data placement & address mapping ->
+    + algorithm-specific optimization (multi-chip coalescing for FM on
+    BEACON-D; single-pass counting for k-mer on BEACON-S).
+    """
+
+    data_packing: bool = False
+    memory_access_opt: bool = False
+    data_placement: bool = False
+    multi_chip_coalescing: bool = False
+    single_pass_kmer: bool = False
+
+    @classmethod
+    def vanilla(cls) -> "OptimizationFlags":
+        """CXL-vanilla: the naive NDP near the pool, nothing enabled."""
+        return cls()
+
+    @classmethod
+    def all_for(cls, system: str, algorithm: Algorithm) -> "OptimizationFlags":
+        """Full BEACON configuration for a (system, algorithm) pair."""
+        steps = cls.cumulative_steps(system, algorithm)
+        return steps[-1][1]
+
+    @classmethod
+    def cumulative_steps(
+        cls, system: str, algorithm: Algorithm
+    ) -> List[Tuple[str, "OptimizationFlags"]]:
+        """The paper's step-by-step configurations, in order.
+
+        ``system`` is ``"beacon-d"`` or ``"beacon-s"``.
+        """
+        if system not in ("beacon-d", "beacon-s"):
+            raise ValueError(f"unknown system {system!r}")
+        steps: List[Tuple[str, OptimizationFlags]] = [("CXL-vanilla", cls())]
+        current = cls()
+
+        def push(label: str, **changes) -> None:
+            nonlocal current
+            current = replace(current, **changes)
+            steps.append((label, current))
+
+        push("+data packing", data_packing=True)
+        push("+memory access opt", memory_access_opt=True)
+        push("+placement & mapping", data_placement=True)
+        if system == "beacon-d" and algorithm is Algorithm.FM_SEEDING:
+            push("+multi-chip coalescing", multi_chip_coalescing=True)
+        if system == "beacon-s" and algorithm is Algorithm.KMER_COUNTING:
+            push("+single-pass counting", single_pass_kmer=True)
+        return steps
+
+
+@dataclass(frozen=True)
+class BeaconConfig:
+    """Structural configuration (Table I's BEACON rows)."""
+
+    #: Pool shape: 2 switches, 4 DIMMs each = 8 x 64 GiB = 512 GiB.
+    num_switches: int = 2
+    dimms_per_switch: int = 4
+    #: BEACON-D: CXLG-DIMMs per switch (the rest stay unmodified).
+    cxlg_per_switch: int = 1
+    #: PEs per accelerator module (Section VI-A).
+    pes_per_cxlg: int = 128
+    pes_per_switch: int = 256
+    #: PEs per customized DDR-DIMM in the MEDAL/NEST baselines (the total
+    #: PE population then matches BEACON-D's, per Section VI-A's "same area
+    #: overhead" fairness rule: 8 x 32 = 2 x 128).
+    baseline_pes_per_dimm: int = 32
+    #: Multi-chip coalescing group width (Section IV-D, "fine-tuned").
+    coalesce_chips: int = 8
+    #: Chip-group width for fine-grained access *without* coalescing
+    #: (MEDAL-style single chip).
+    fine_grained_chips: int = 1
+    #: Share of a hot region the planner pushes onto CXLG-DIMMs.  The
+    #: profile skew means this fraction of *blocks* covers a far larger
+    #: fraction of *accesses*; a CXLG-DIMM holds 64 GiB (an entire BWA-MEM
+    #: FM-index fits in 64 GiB), so a high default is realistic.
+    near_fraction: float = 0.85
+    #: Atomic Engines per switch (BEACON-D; BEACON-S reuses its PEs).
+    atomic_engines_per_switch: int = 64
+    #: Cycles an Atomic Engine spends on the RMW arithmetic.
+    atomic_compute_cycles: int = 4
+    comm: CommParams = field(default_factory=CommParams)
+    geometry: DimmGeometry = field(default_factory=DimmGeometry)
+    timing: DramTiming = field(default_factory=DramTiming)
+
+    def with_flags(self, flags: OptimizationFlags) -> "BeaconConfig":
+        """Fold the communication-side flags into the comm parameters."""
+        comm = replace(
+            self.comm,
+            data_packing=flags.data_packing,
+            device_bias=flags.memory_access_opt,
+        )
+        return replace(self, comm=comm)
+
+    def idealized(self) -> "BeaconConfig":
+        """Idealized-communication twin (Fig. 3 / %-of-ideal rows)."""
+        return replace(self, comm=self.comm.idealized())
+
+    def scaled(self, factor: int = 8) -> "BeaconConfig":
+        """Shrink the PE population by ``factor`` for scaled simulations.
+
+        The workload generators shrink the datasets by orders of magnitude
+        (see :mod:`repro.genomics.workloads`); shrinking the PE counts by
+        the same spirit keeps the systems in the paper's *throughput-bound*
+        operating regime (tasks per PE >> 1, memory latency hidden by task
+        switching) instead of an artificial latency-bound regime where no
+        bandwidth optimization could matter.
+        """
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return replace(
+            self,
+            pes_per_cxlg=max(1, self.pes_per_cxlg // factor),
+            pes_per_switch=max(1, self.pes_per_switch // factor),
+            baseline_pes_per_dimm=max(1, self.baseline_pes_per_dimm // factor),
+            atomic_engines_per_switch=max(1, self.atomic_engines_per_switch // factor),
+        )
+
+    @property
+    def total_dimms(self) -> int:
+        return self.num_switches * self.dimms_per_switch
+
+    @property
+    def total_pes_d(self) -> int:
+        return self.num_switches * self.cxlg_per_switch * self.pes_per_cxlg
+
+    @property
+    def total_pes_s(self) -> int:
+        return self.num_switches * self.pes_per_switch

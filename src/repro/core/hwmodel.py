@@ -1,0 +1,58 @@
+"""PE hardware cost model (Table II).
+
+The paper synthesizes its PEs with Design Compiler at 28 nm and reports
+area, dynamic power, and leakage power against MEDAL's and NEST's PEs.
+Synthesis is outside this reproduction's scope, so Table II's numbers are
+embedded as constants; they feed the compute-energy term of the energy
+model (dynamic power x busy time + leakage x total time) and the Table II
+regeneration bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class PeHardware:
+    """One architecture's PE cost (28 nm, pre-layout Design Compiler)."""
+
+    area_um2: float
+    dynamic_power_mw: float
+    leakage_power_uw: float
+
+    def compute_energy_nj(self, busy_cycles: float, total_cycles: float,
+                          tck_ns: float, num_pes: int) -> float:
+        """Energy of ``num_pes`` PEs over a run.
+
+        Dynamic power is charged only while a PE computes; leakage is
+        charged on every PE for the whole run.
+        """
+        busy_s = busy_cycles * tck_ns * 1e-9
+        total_s = total_cycles * tck_ns * 1e-9
+        dynamic_nj = self.dynamic_power_mw * 1e-3 * busy_s * 1e9
+        leakage_nj = self.leakage_power_uw * 1e-6 * total_s * num_pes * 1e9
+        return dynamic_nj + leakage_nj
+
+
+#: Table II verbatim.
+PE_HARDWARE: Dict[str, PeHardware] = {
+    "MEDAL": PeHardware(area_um2=8941.39, dynamic_power_mw=10.57,
+                        leakage_power_uw=36.16),
+    "NEST": PeHardware(area_um2=16721.12, dynamic_power_mw=8.12,
+                       leakage_power_uw=24.83),
+    "BEACON": PeHardware(area_um2=14090.23, dynamic_power_mw=9.48,
+                         leakage_power_uw=18.97),
+}
+
+
+def beacon_overhead_vs(previous: str) -> Dict[str, float]:
+    """BEACON's PE cost relative to a prior design (Table II analysis)."""
+    beacon = PE_HARDWARE["BEACON"]
+    other = PE_HARDWARE[previous]
+    return {
+        "area_ratio": beacon.area_um2 / other.area_um2,
+        "dynamic_power_ratio": beacon.dynamic_power_mw / other.dynamic_power_mw,
+        "leakage_power_ratio": beacon.leakage_power_uw / other.leakage_power_uw,
+    }

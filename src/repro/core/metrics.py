@@ -1,0 +1,168 @@
+"""Performance / energy reports.
+
+Every experiment run produces a :class:`Report`: runtime, the three-way
+energy breakdown the paper plots in Fig. 17 (computation / DRAM /
+communication), and derived ratios (speedup vs a baseline report, energy
+reduction, % of the idealized-communication twin).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class Report:
+    """Outcome of one simulated run."""
+
+    label: str
+    system: str
+    algorithm: str
+    dataset: str
+    runtime_cycles: int
+    tck_ns: float
+    energy_dram_nj: float
+    energy_comm_nj: float
+    energy_compute_nj: float
+    tasks_completed: int
+    mem_requests: int = 0
+    wire_bytes: float = 0.0
+    useful_bytes: float = 0.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    # -- derived quantities ------------------------------------------------------
+
+    @property
+    def runtime_ns(self) -> float:
+        return self.runtime_cycles * self.tck_ns
+
+    @property
+    def runtime_us(self) -> float:
+        return self.runtime_ns / 1e3
+
+    @property
+    def total_energy_nj(self) -> float:
+        return self.energy_dram_nj + self.energy_comm_nj + self.energy_compute_nj
+
+    @property
+    def comm_energy_fraction(self) -> float:
+        """The Fig. 17 quantity: communication share of total energy."""
+        total = self.total_energy_nj
+        return self.energy_comm_nj / total if total > 0 else 0.0
+
+    @property
+    def compute_energy_fraction(self) -> float:
+        total = self.total_energy_nj
+        return self.energy_compute_nj / total if total > 0 else 0.0
+
+    @property
+    def bandwidth_efficiency(self) -> float:
+        """Useful bytes per wire byte (what data packing improves)."""
+        return self.useful_bytes / self.wire_bytes if self.wire_bytes else 0.0
+
+    # -- comparisons ----------------------------------------------------------------
+
+    def speedup_vs(self, other: "Report") -> float:
+        """How much faster this run is than ``other`` (>1 == faster)."""
+        if self.runtime_ns <= 0:
+            raise ValueError("runtime must be positive")
+        return other.runtime_ns / self.runtime_ns
+
+    def energy_reduction_vs(self, other: "Report") -> float:
+        """How much less energy this run uses than ``other`` (>1 == less)."""
+        if self.total_energy_nj <= 0:
+            raise ValueError("energy must be positive")
+        return other.total_energy_nj / self.total_energy_nj
+
+    def percent_of_ideal(self, ideal: "Report") -> float:
+        """Performance as a fraction of the idealized-communication twin."""
+        if self.runtime_ns <= 0:
+            raise ValueError("runtime must be positive")
+        return ideal.runtime_ns / self.runtime_ns
+
+    def energy_percent_of_ideal(self, ideal: "Report") -> float:
+        if self.total_energy_nj <= 0:
+            raise ValueError("energy must be positive")
+        return ideal.total_energy_nj / self.total_energy_nj
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"{self.label}: {self.runtime_us:.1f} us, "
+            f"{self.total_energy_nj / 1e3:.1f} uJ "
+            f"(comm {self.comm_energy_fraction:.1%}, "
+            f"compute {self.compute_energy_fraction:.1%}), "
+            f"{self.tasks_completed} tasks"
+        )
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (JSON-ready) with the derived metrics included."""
+        return {
+            "label": self.label,
+            "system": self.system,
+            "algorithm": self.algorithm,
+            "dataset": self.dataset,
+            "runtime_cycles": self.runtime_cycles,
+            "runtime_us": self.runtime_us,
+            "tck_ns": self.tck_ns,
+            "energy_dram_nj": self.energy_dram_nj,
+            "energy_comm_nj": self.energy_comm_nj,
+            "energy_compute_nj": self.energy_compute_nj,
+            "total_energy_nj": self.total_energy_nj,
+            "comm_energy_fraction": self.comm_energy_fraction,
+            "tasks_completed": self.tasks_completed,
+            "mem_requests": self.mem_requests,
+            "wire_bytes": self.wire_bytes,
+            "useful_bytes": self.useful_bytes,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Report":
+        """Inverse of :meth:`to_dict` (derived fields are recomputed)."""
+        return cls(
+            label=str(data["label"]),
+            system=str(data["system"]),
+            algorithm=str(data["algorithm"]),
+            dataset=str(data["dataset"]),
+            runtime_cycles=int(data["runtime_cycles"]),        # type: ignore[arg-type]
+            tck_ns=float(data["tck_ns"]),                      # type: ignore[arg-type]
+            energy_dram_nj=float(data["energy_dram_nj"]),      # type: ignore[arg-type]
+            energy_comm_nj=float(data["energy_comm_nj"]),      # type: ignore[arg-type]
+            energy_compute_nj=float(data["energy_compute_nj"]),  # type: ignore[arg-type]
+            tasks_completed=int(data["tasks_completed"]),      # type: ignore[arg-type]
+            mem_requests=int(data.get("mem_requests", 0)),     # type: ignore[arg-type]
+            wire_bytes=float(data.get("wire_bytes", 0.0)),     # type: ignore[arg-type]
+            useful_bytes=float(data.get("useful_bytes", 0.0)),  # type: ignore[arg-type]
+            extra=dict(data.get("extra", {})),                 # type: ignore[arg-type]
+        )
+
+    def save_json(self, path) -> None:
+        """Write the report as JSON."""
+        import json
+
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+
+    @classmethod
+    def load_json(cls, path) -> "Report":
+        import json
+
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean (the paper's "on average" across datasets)."""
+    values = list(values)
+    if not values:
+        raise ValueError("need at least one value")
+    product = 1.0
+    for v in values:
+        if v <= 0:
+            raise ValueError("geometric mean needs positive values")
+        product *= v
+    return product ** (1.0 / len(values))

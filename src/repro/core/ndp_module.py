@@ -1,0 +1,187 @@
+"""The NDP module (Fig. 5 (b)): PEs + Task Scheduler + Address Translator
++ I/O buffer, bound to one fabric node.
+
+The same module is instantiated on CXLG-DIMMs (BEACON-D), inside CXL
+switches (BEACON-S), and on the customized DDR-DIMMs of the MEDAL/NEST
+baselines — the paper uses "the same PEs ... in the NDP baselines and
+BEACON" (Section VI-A), and so do we.
+
+Execution loop: a ready task claims a PE and advances through its step
+generator.  Compute steps hold the PE; a memory step issues its accesses
+through the Address Translator into the pool and parks the task (the PE is
+released and immediately redispatched — the paper's task switching).  When
+the last operand returns, the Task Scheduler re-queues the task.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.core.address_translator import AddressTranslator
+from repro.core.pe import PePool
+from repro.core.task import ComputeStep, MemStep, Task
+from repro.core.task_scheduler import TaskScheduler
+from repro.cxl.flit import MessageKind
+from repro.cxl.topology import MemoryPool
+from repro.dram.request import MemoryRequest
+from repro.memmgmt.regions import RegionMap
+from repro.sim.component import Component
+
+
+class NdpModule(Component):
+    """One NDP module at fabric node ``node``."""
+
+    def __init__(
+        self,
+        engine,
+        name: str,
+        parent,
+        node: str,
+        num_pes: int,
+        pool: MemoryPool,
+        region_map: RegionMap,
+    ) -> None:
+        super().__init__(engine, name, parent)
+        self.node = node
+        self.pool = pool
+        self.pes = PePool(engine, "pes", self, num_pes)
+        self.scheduler = TaskScheduler(engine, "sched", self)
+        self.translator = AddressTranslator(engine, "xlat", self, region_map, node)
+        self.scheduler.on_ready = self._dispatch
+        self.tasks_completed = 0
+        #: System-level hook fired on every task completion.
+        self.on_task_done: Optional[Callable[[Task], None]] = None
+        #: MEDAL-style task migration: DIMM-node -> NdpModule peers.  When
+        #: set, a memory step whose data lives on a peer's DIMM ships the
+        #: *task* there (one small one-way message) instead of round-tripping
+        #: the data — the prior work's answer to the inter-DIMM bottleneck.
+        self.migration_peers: Optional[Dict[str, "NdpModule"]] = None
+        self._dispatch_pending = False
+
+    # -- task entry -------------------------------------------------------------
+
+    def submit_task(self, task: Task) -> None:
+        """Accept a task (typically delivered as a TASK message)."""
+        if task.started_at is None:
+            task.started_at = self.now
+        self.stats.add("tasks_submitted", 1)
+        self.scheduler.push_ready(task)
+
+    # -- dispatch loop -------------------------------------------------------------
+
+    def _dispatch(self) -> None:
+        # Collapse bursts of readiness notifications into one pass per cycle.
+        if self._dispatch_pending:
+            return
+        self._dispatch_pending = True
+        self.engine.schedule(0, self._dispatch_now)
+
+    def _dispatch_now(self) -> None:
+        self._dispatch_pending = False
+        while self.scheduler.ready_count and self.pes.acquire():
+            task = self.scheduler.pop_ready()
+            assert task is not None
+            self._advance(task)
+
+    def _advance(self, task: Task) -> None:
+        """Run the task on its PE until it parks or finishes."""
+        try:
+            step = next(task.steps)
+        except StopIteration:
+            self._complete(task)
+            return
+        if isinstance(step, ComputeStep):
+            self.pes.record_compute(task.algorithm, step.cycles)
+            self.engine.schedule(step.cycles, lambda: self._advance(task))
+            return
+        if isinstance(step, MemStep):
+            target = self._migration_target(step)
+            if target is not None:
+                self._migrate(task, step, target)
+                return
+            self._issue_mem_step(task, step)
+            return
+        raise TypeError(f"unknown step type {type(step).__name__}")
+
+    # -- MEDAL-style task migration ------------------------------------------------
+
+    def _migration_target(self, step: MemStep) -> Optional["NdpModule"]:
+        """Peer module co-located with this step's data, if migrating."""
+        if self.migration_peers is None or not step.accesses:
+            return None
+        first = step.accesses[0]
+        try:
+            dimm_index, _coord = self.translator.region_map.resolve(
+                first.addr, requester=self.node
+            )
+        except KeyError:
+            return None
+        node = self.pool.dimm_nodes[dimm_index]
+        if node == self.node:
+            return None
+        return self.migration_peers.get(node)
+
+    def _migrate(self, task: Task, step: MemStep, target: "NdpModule") -> None:
+        """Ship the task (sequence + state, one small message) to ``target``."""
+        self.stats.add("task_migrations", 1)
+        self.pes.release()
+        self._dispatch()
+        fabric = self.pool.fabric
+        route = fabric.route(self.node, target.node)
+        fabric.send(
+            route, MessageKind.TASK, task.payload_bytes + 16,
+            on_delivered=lambda: target._resume_migrated(task, step),
+        )
+
+    def _resume_migrated(self, task: Task, step: MemStep) -> None:
+        """Continue a migrated task here: run its pending memory step.
+
+        No PE is held at this point — the task claims one of *this*
+        module's PEs through the normal dispatch path once its operands
+        return.
+        """
+        self.stats.add("tasks_received", 1)
+        self._issue_mem_step(task, step, holds_pe=False)
+
+    def _issue_mem_step(self, task: Task, step: MemStep, holds_pe: bool = True) -> None:
+        accesses = list(step.accesses)
+        if not accesses:
+            if holds_pe:
+                # Nothing to wait for; keep running on the same PE.
+                self._advance(task)
+            else:
+                self.scheduler.push_ready(task)
+            return
+        self.scheduler.park(task, operands=len(accesses))
+        if holds_pe:
+            # The PE switches to another task while this one waits.
+            self.pes.release()
+            self._dispatch()
+        for spec in accesses:
+            request = MemoryRequest(
+                addr=spec.addr,
+                size=spec.size,
+                kind=spec.kind,
+                data_class=spec.data_class,
+                task_id=task.task_id,
+                source=self.node,
+                on_complete=lambda _req, t=task: self.scheduler.operand_ready(t),
+            )
+            self.translator.translate(request)
+            self.stats.add("mem_requests", 1)
+            if request.dimm_index is not None and (
+                self.pool.dimm_nodes[request.dimm_index] == self.node
+            ):
+                self.stats.add("local_requests", 1)
+            self.pool.access(request, self.node)
+
+    def _complete(self, task: Task) -> None:
+        task.finished_at = self.now
+        self.pes.release()
+        self.tasks_completed += 1
+        self.stats.add("tasks_completed", 1)
+        if task.on_done is not None:
+            task.on_done(task)
+        if self.on_task_done is not None:
+            self.on_task_done(task)
+        self._dispatch()

@@ -1,0 +1,65 @@
+"""Processing Engines.
+
+The PEs are multi-purpose fixed-function ASIC blocks (Fig. 5 (d)): an
+FM-index engine, a Hash-index engine, a KMC engine, and a DNA pre-alignment
+engine behind a shared task interface.  All PEs of one NDP module are
+identical, so the pool models them as a counting resource: a PE is occupied
+exactly while a task computes on it, and switches to another task whenever
+the current one waits on memory (Section IV-B's task switching).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import Algorithm
+from repro.sim.component import Component
+
+
+class PePool(Component):
+    """``num_pes`` interchangeable PEs of one NDP module."""
+
+    def __init__(self, engine, name: str, parent, num_pes: int) -> None:
+        super().__init__(engine, name, parent)
+        if num_pes <= 0:
+            raise ValueError("num_pes must be positive")
+        self.num_pes = num_pes
+        self.busy = 0
+        self._busy_area = 0.0       # sum of (busy PEs x cycles), for utilization
+        self._last_change = 0
+
+    def _account(self) -> None:
+        self._busy_area += self.busy * (self.now - self._last_change)
+        self._last_change = self.now
+
+    @property
+    def available(self) -> int:
+        return self.num_pes - self.busy
+
+    def acquire(self) -> bool:
+        """Claim a PE; returns False when all are busy."""
+        if self.busy >= self.num_pes:
+            return False
+        self._account()
+        self.busy += 1
+        return True
+
+    def release(self) -> None:
+        if self.busy <= 0:
+            raise RuntimeError(f"{self.path}: release without acquire")
+        self._account()
+        self.busy -= 1
+
+    def record_compute(self, algorithm: Algorithm, cycles: int) -> None:
+        """Account one compute step (drives the compute-energy term)."""
+        self.stats.add("compute_cycles", cycles)
+        self.stats.add(f"compute_cycles.{algorithm.value}", cycles)
+
+    @property
+    def total_compute_cycles(self) -> float:
+        return self.stats.get("compute_cycles")
+
+    def utilization(self, end_cycle: int) -> float:
+        """Mean fraction of PEs busy over the run."""
+        if end_cycle <= 0:
+            return 0.0
+        area = self._busy_area + self.busy * (end_cycle - self._last_change)
+        return area / (self.num_pes * end_cycle)

@@ -1,0 +1,77 @@
+"""Switch-Logic assembly (Fig. 5 (c)).
+
+The Switch-Logic is the block BEACON adds inside each CXL switch.  Its
+constituents live elsewhere in the codebase — the Bus Controller and
+Switch-Bus in :class:`repro.cxl.switch.CxlSwitch`, the Data Packers on the
+fabric's channels, the per-DIMM MCs in :class:`repro.dram.controller` — so
+these classes are the *composition*: what one switch of each variant hosts.
+
+* :class:`SwitchLogicD` (BEACON-D): Bus CtrL + Data Packer + MC + dedicated
+  Atomic Engines.  Computation happens down on the CXLG-DIMMs.
+* :class:`SwitchLogicS` (BEACON-S): the same, plus a full NDP module — and
+  the PEs double as the atomic units, so the atomic bank is sized by the
+  PE count instead of a dedicated engine count.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.atomic_engine import AtomicEngineBank
+from repro.core.ndp_module import NdpModule
+from repro.cxl.switch import CxlSwitch
+from repro.cxl.topology import MemoryPool
+from repro.memmgmt.regions import RegionMap
+from repro.sim.component import Component
+
+
+class SwitchLogicD(Component):
+    """BEACON-D's Switch-Logic: memory-side services only."""
+
+    def __init__(
+        self,
+        engine,
+        name: str,
+        parent,
+        switch: CxlSwitch,
+        pool: MemoryPool,
+        num_atomic_engines: int,
+        atomic_compute_cycles: int,
+    ) -> None:
+        super().__init__(engine, name, parent)
+        self.switch = switch
+        self.atomics = AtomicEngineBank(
+            engine, "atomics", self, switch.name,
+            num_engines=num_atomic_engines,
+            compute_cycles=atomic_compute_cycles,
+        )
+        pool.register_atomic_engine(switch.name, self.atomics)
+
+
+class SwitchLogicS(Component):
+    """BEACON-S's Switch-Logic: NDP module + PE-backed atomics."""
+
+    def __init__(
+        self,
+        engine,
+        name: str,
+        parent,
+        switch: CxlSwitch,
+        pool: MemoryPool,
+        region_map: RegionMap,
+        num_pes: int,
+        atomic_compute_cycles: int,
+    ) -> None:
+        super().__init__(engine, name, parent)
+        self.switch = switch
+        self.ndp = NdpModule(
+            engine, "ndp", self, node=switch.name,
+            num_pes=num_pes, pool=pool, region_map=region_map,
+        )
+        # "we reuse these PEs as the Atomic Engines" — same population size.
+        self.atomics = AtomicEngineBank(
+            engine, "atomics", self, switch.name,
+            num_engines=num_pes,
+            compute_cycles=atomic_compute_cycles,
+        )
+        pool.register_atomic_engine(switch.name, self.atomics)

@@ -1,0 +1,263 @@
+"""Tasks and task-step generation.
+
+A **task** is "a DNA sequence to be processed with related information"
+(Section IV-B).  Execution is *execution-driven*: each task wraps a Python
+generator that runs the real algorithm (from :mod:`repro.genomics`) and
+yields alternating compute/memory steps; the PEs execute those steps
+against the simulated pool, so the addresses are the algorithm's actual
+addresses and the functional results (seeds found, counters incremented,
+filter verdicts) are real.
+
+Step protocol
+-------------
+* :class:`ComputeStep` — the PE is busy for N cycles.
+* :class:`MemStep` — issue the listed accesses in parallel; the task parks
+  in the Task Scheduler's incoming queue (freeing its PE) until every
+  operand returns.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Sequence, Union
+
+from repro.core.config import PE_COMPUTE_CYCLES, Algorithm
+from repro.dram.request import AccessKind, DataClass
+from repro.genomics.bloom import CountingBloomFilter
+from repro.genomics.fm_index import FMIndex
+from repro.genomics.hash_index import HashIndex
+from repro.genomics.kmer import iter_kmers
+from repro.genomics.prealign import PrealignResult, ShoujiFilter
+from repro.genomics.workloads import PrealignPair
+from repro.memmgmt.regions import Region
+
+
+@dataclass(frozen=True)
+class AccessSpec:
+    """One memory access a task step needs."""
+
+    addr: int
+    size: int
+    kind: AccessKind = AccessKind.READ
+    data_class: DataClass = DataClass.GENERIC
+
+
+@dataclass(frozen=True)
+class ComputeStep:
+    """PE-busy computation for ``cycles`` DRAM cycles."""
+
+    cycles: int
+
+
+@dataclass(frozen=True)
+class MemStep:
+    """Parallel memory accesses; the task resumes when all complete."""
+
+    accesses: Sequence[AccessSpec]
+
+
+Step = Union[ComputeStep, MemStep]
+
+_task_ids = itertools.count()
+
+
+@dataclass
+class Task:
+    """A unit of work scheduled onto the PEs."""
+
+    algorithm: Algorithm
+    steps: Iterator[Step]
+    payload_bytes: int = 32
+    task_id: int = field(default_factory=lambda: next(_task_ids))
+    on_done: Optional[Callable[["Task"], None]] = None
+    #: Outstanding operand count while parked (Task Scheduler scoreboard).
+    waiting_operands: int = 0
+    started_at: Optional[int] = None
+    finished_at: Optional[int] = None
+
+
+# ---------------------------------------------------------------------------
+# Region accessors: genomics data structure <-> pool virtual addresses.
+# ---------------------------------------------------------------------------
+
+
+class FmIndexAccessor:
+    """FM-index blocks inside a region."""
+
+    def __init__(self, fm: FMIndex, region: Region) -> None:
+        self.fm = fm
+        self.region = region
+
+    def block_addr(self, block: int) -> int:
+        return self.region.base + self.fm.block_address(block)
+
+
+class HashIndexAccessor:
+    """Hash directory + location store across two regions."""
+
+    def __init__(self, index: HashIndex, directory: Region, locations: Region) -> None:
+        self.index = index
+        self.directory = directory
+        self.locations = locations
+
+    def header_addr(self, bucket: int) -> int:
+        return self.directory.base + self.index.header_address(bucket)
+
+    def location_addr(self, byte_offset_in_store: int) -> int:
+        return self.locations.base + byte_offset_in_store
+
+
+class BloomAccessor:
+    """Counting Bloom filter counters inside a region.
+
+    Counters are sub-byte; an access touches the byte holding the slot.
+    """
+
+    def __init__(self, bloom: CountingBloomFilter, region: Region) -> None:
+        self.bloom = bloom
+        self.region = region
+
+    def slot_addr(self, slot: int) -> int:
+        return self.region.base + (slot * self.bloom.counter_bits) // 8
+
+
+class ReferenceAccessor:
+    """Reference genome bases (2-bit packed) inside a region."""
+
+    def __init__(self, region: Region, bases_per_byte: int = 4) -> None:
+        self.region = region
+        self.bases_per_byte = bases_per_byte
+
+    def window_specs(self, start: int, length: int) -> List[AccessSpec]:
+        """64 B-chunked reads covering ``length`` bases at ``start``."""
+        first_byte = start // self.bases_per_byte
+        last_byte = (start + length - 1) // self.bases_per_byte
+        total = last_byte - first_byte + 1
+        specs = []
+        for off in range(0, total, 64):
+            specs.append(
+                AccessSpec(
+                    addr=self.region.base + first_byte + off,
+                    size=min(64, total - off),
+                    data_class=DataClass.REFERENCE_WINDOW,
+                )
+            )
+        return specs
+
+
+# ---------------------------------------------------------------------------
+# Per-algorithm step generators.
+# ---------------------------------------------------------------------------
+
+
+def fm_seeding_steps(accessor: FmIndexAccessor, read: str) -> Iterator[Step]:
+    """FM-index seeding: one backward-search step per read symbol.
+
+    Each step costs the FM engine's 16 cycles and two 32 B occ-block reads
+    (deduplicated when top/bot share a block), exactly MEDAL/BEACON's
+    kernel.
+    """
+    compute = PE_COMPUTE_CYCLES[Algorithm.FM_SEEDING]
+    for step in accessor.fm.search_trace(read):
+        yield ComputeStep(compute)
+        yield MemStep(
+            [
+                AccessSpec(
+                    addr=accessor.block_addr(block),
+                    size=FMIndex.BLOCK_BYTES,
+                    data_class=DataClass.FM_INDEX_BLOCK,
+                )
+                for block in step.blocks
+            ]
+        )
+
+
+def hash_seeding_steps(accessor: HashIndexAccessor, read: str) -> Iterator[Step]:
+    """Hash-index seeding: hash -> directory read -> stream the bucket.
+
+    A bucket's matching locations are contiguous in the location store, so
+    the streaming reads are spatially local (the layout the data-aware
+    mapping keeps row-major).
+    """
+    compute = PE_COMPUTE_CYCLES[Algorithm.HASH_SEEDING]
+    for query in accessor.index.seed_read(read):
+        yield ComputeStep(compute)
+        yield MemStep(
+            [
+                AccessSpec(
+                    addr=accessor.header_addr(query.bucket),
+                    size=8,
+                    data_class=DataClass.HASH_DIRECTORY,
+                )
+            ]
+        )
+        if query.location_addrs:
+            store_base = query.location_addrs[0] - accessor.index.directory_bytes
+            total = len(query.location_addrs) * 4
+            yield MemStep(
+                [
+                    AccessSpec(
+                        addr=accessor.location_addr(store_base + off),
+                        size=min(64, total - off),
+                        data_class=DataClass.HASH_LOCATIONS,
+                    )
+                    for off in range(0, total, 64)
+                ]
+            )
+
+
+def kmer_insert_steps(accessor: BloomAccessor, read: str, k: int) -> Iterator[Step]:
+    """k-mer counting insertion: hash then ``h`` atomic counter increments.
+
+    The functional filter is updated as a side effect, so after the
+    simulation the counter values are the real abundances (within Bloom
+    overcount), and the RMW data-race handling of the Atomic Engines
+    (Fig. 7) is exercised by every increment.
+    """
+    compute = PE_COMPUTE_CYCLES[Algorithm.KMER_COUNTING]
+    for kmer in iter_kmers(read, k):
+        yield ComputeStep(compute)
+        slots = accessor.bloom.insert(kmer)
+        yield MemStep(
+            [
+                AccessSpec(
+                    addr=accessor.slot_addr(slot),
+                    size=1,
+                    kind=AccessKind.ATOMIC_RMW,
+                    data_class=DataClass.BLOOM_COUNTER,
+                )
+                for slot in slots
+            ]
+        )
+
+
+def kmer_query_steps(accessor: BloomAccessor, read: str, k: int) -> Iterator[Step]:
+    """Pass-2 counting: plain reads of the merged filter's counters."""
+    compute = PE_COMPUTE_CYCLES[Algorithm.KMER_COUNTING]
+    for kmer in iter_kmers(read, k):
+        yield ComputeStep(compute)
+        slots = accessor.bloom.slots(kmer)
+        yield MemStep(
+            [
+                AccessSpec(
+                    addr=accessor.slot_addr(slot),
+                    size=1,
+                    data_class=DataClass.BLOOM_COUNTER,
+                )
+                for slot in slots
+            ]
+        )
+
+
+def prealign_steps(
+    accessor: ReferenceAccessor,
+    shouji: ShoujiFilter,
+    pair: PrealignPair,
+    window_start: int,
+    results: List[PrealignResult],
+) -> Iterator[Step]:
+    """Pre-alignment: fetch the candidate window, run the Shouji grid."""
+    yield MemStep(accessor.window_specs(window_start, len(pair.window)))
+    yield ComputeStep(PE_COMPUTE_CYCLES[Algorithm.PREALIGNMENT])
+    results.append(shouji.filter(pair.read, pair.window))

@@ -1,0 +1,72 @@
+"""Task Scheduler: the incoming/out-going task queues (Fig. 5 (b)).
+
+Tasks waiting for memory operands sit in the **incoming queue** with a
+per-task outstanding-operand count (the scoreboard); when the last operand
+returns, the task moves to the **out-going queue**, from which the
+dispatcher hands tasks to PEs that need work.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional, Set
+
+from repro.core.task import Task
+from repro.sim.component import Component
+
+
+class TaskScheduler(Component):
+    """Queues + operand scoreboard for one NDP module."""
+
+    def __init__(self, engine, name: str, parent) -> None:
+        super().__init__(engine, name, parent)
+        self._ready: Deque[Task] = deque()
+        self._waiting: Set[int] = set()
+        #: Invoked whenever a task becomes ready (the dispatcher hook).
+        self.on_ready: Optional[Callable[[], None]] = None
+
+    # -- out-going queue -----------------------------------------------------------
+
+    def push_ready(self, task: Task) -> None:
+        """A new or resumed task is ready for a PE."""
+        self._ready.append(task)
+        self.stats.add("ready_pushes", 1)
+        if self.on_ready is not None:
+            self.on_ready()
+
+    def pop_ready(self) -> Optional[Task]:
+        if not self._ready:
+            return None
+        return self._ready.popleft()
+
+    @property
+    def ready_count(self) -> int:
+        return len(self._ready)
+
+    # -- incoming queue / scoreboard ---------------------------------------------------
+
+    def park(self, task: Task, operands: int) -> None:
+        """Task waits for ``operands`` memory responses."""
+        if operands <= 0:
+            raise ValueError("operands must be positive")
+        task.waiting_operands = operands
+        self._waiting.add(task.task_id)
+        self.stats.add("parked", 1)
+
+    def operand_ready(self, task: Task) -> None:
+        """One of the task's operands arrived ("the data back with local
+        destinations are forwarded to the Task Schedulers")."""
+        if task.task_id not in self._waiting:
+            raise RuntimeError(f"task {task.task_id} is not parked")
+        task.waiting_operands -= 1
+        if task.waiting_operands == 0:
+            self._waiting.discard(task.task_id)
+            self.push_ready(task)
+
+    @property
+    def waiting_count(self) -> int:
+        return len(self._waiting)
+
+    @property
+    def idle(self) -> bool:
+        return not self._ready and not self._waiting

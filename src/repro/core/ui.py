@@ -1,0 +1,127 @@
+"""The BEACON framework User-Interface (Section V, "Programming Burden").
+
+"The end-users only need to provide the related information, e.g.,
+application, algorithm, dataset size, input task number, and task
+parameters, to the User-Interface (UI) of the BEACON framework.  No coding
+and no programming are required for the end-users."
+
+:class:`BeaconUI` is that surface: a job description in, a report out.
+Each job builds a fresh fully-optimized system of the requested variant,
+places the data through the memory-management framework, and runs it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.beacon import BeaconD, BeaconS
+from repro.core.config import Algorithm, BeaconConfig, OptimizationFlags
+from repro.core.metrics import Report
+from repro.genomics.workloads import SeedingWorkload, DatasetSpec
+
+#: Application names accepted by the UI, as the paper's end-users would
+#: phrase them, mapped to the algorithm enum.
+APPLICATIONS: Dict[str, Algorithm] = {
+    "fm-seeding": Algorithm.FM_SEEDING,
+    "dna-seeding": Algorithm.FM_SEEDING,
+    "hash-seeding": Algorithm.HASH_SEEDING,
+    "kmer-counting": Algorithm.KMER_COUNTING,
+    "k-mer-counting": Algorithm.KMER_COUNTING,
+    "pre-alignment": Algorithm.PREALIGNMENT,
+    "prealignment": Algorithm.PREALIGNMENT,
+}
+
+
+@dataclass
+class JobRequest:
+    """What an end-user submits: data plus knobs, no code."""
+
+    application: str
+    reference: str
+    reads: Sequence[str]
+    parameters: Dict[str, object] = field(default_factory=dict)
+
+    def algorithm(self) -> Algorithm:
+        try:
+            return APPLICATIONS[self.application.lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown application {self.application!r}; "
+                f"available: {sorted(set(APPLICATIONS))}"
+            ) from None
+
+
+class BeaconUI:
+    """Submit genome-analysis jobs to a BEACON pool without programming."""
+
+    def __init__(
+        self,
+        variant: str = "beacon-d",
+        config: Optional[BeaconConfig] = None,
+        label: str = "beacon-ui",
+    ) -> None:
+        if variant not in ("beacon-d", "beacon-s"):
+            raise ValueError(f"variant must be beacon-d or beacon-s, got {variant!r}")
+        self.variant = variant
+        self.config = config or BeaconConfig()
+        self.label = label
+        self.history: List[Report] = []
+
+    def _build_system(self, algorithm: Algorithm):
+        cls = BeaconD if self.variant == "beacon-d" else BeaconS
+        flags = OptimizationFlags.all_for(self.variant, algorithm)
+        return cls(config=self.config, flags=flags,
+                   label=f"{self.label}:{algorithm.value}")
+
+    def submit(self, job: JobRequest) -> Report:
+        """Run one job to completion and return its report."""
+        algorithm = job.algorithm()
+        if not job.reads:
+            raise ValueError("job needs at least one read")
+        read_length = len(job.reads[0])
+        workload = SeedingWorkload(
+            spec=DatasetSpec(
+                name=str(job.parameters.get("dataset", "user")),
+                label="user dataset",
+                genome_length=len(job.reference),
+                num_reads=len(job.reads),
+                read_length=read_length,
+                gc_content=0.5,
+                seed=int(job.parameters.get("seed", 0)),
+            ),
+            reference=job.reference,
+            reads=list(job.reads),
+            read_origins=list(job.parameters.get("read_origins", [])),
+        )
+        system = self._build_system(algorithm)
+        if algorithm is Algorithm.KMER_COUNTING:
+            report = system.run_kmer_counting(
+                workload,
+                k=int(job.parameters.get("k", 15)),
+                num_counters=int(job.parameters.get("num_counters", 1 << 16)),
+            )
+            self.last_kmer_filter = system.kmer_global_filter
+        elif algorithm is Algorithm.PREALIGNMENT:
+            if not workload.read_origins:
+                raise ValueError(
+                    "pre-alignment jobs need parameters['read_origins'] "
+                    "(candidate locations from a seeding job)"
+                )
+            report = system.run_prealignment(
+                workload,
+                max_edits=int(job.parameters.get("max_edits", 3)),
+                candidates_per_read=int(
+                    job.parameters.get("candidates_per_read", 4)),
+            )
+            self.last_prealign_results = system.prealign_results
+        elif algorithm is Algorithm.HASH_SEEDING:
+            report = system.run_hash_seeding(
+                workload,
+                k=int(job.parameters.get("k", 13)),
+                bucket_load=int(job.parameters.get("bucket_load", 4)),
+            )
+        else:
+            report = system.run_fm_seeding(workload)
+        self.history.append(report)
+        return report

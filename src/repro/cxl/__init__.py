@@ -1,0 +1,35 @@
+"""CXL fabric substrate: flits, links, switches, interfaces, host, topology.
+
+Models the communication side of the memory pool: serializing full-duplex
+links with CXL's 64-byte transfer granularity, the Data Packer that
+aggregates fine-grained payloads into flits (Fig. 6), CXL switches with the
+added Switch-Bus for in-switch routing, the host root complex (whose detour
+the device-bias memory access optimization removes, Fig. 9), and topology
+builders for every system the paper evaluates.
+"""
+
+from repro.cxl.flit import FLIT_BYTES, Message, MessageKind
+from repro.cxl.link import IDEAL_LINK_PARAMS, Link, LinkParams
+from repro.cxl.packer import PackedChannel
+from repro.cxl.host import Host
+from repro.cxl.switch import CxlSwitch
+from repro.cxl.topology import (
+    CommParams,
+    Fabric,
+    Route,
+)
+
+__all__ = [
+    "CommParams",
+    "CxlSwitch",
+    "FLIT_BYTES",
+    "Fabric",
+    "Host",
+    "IDEAL_LINK_PARAMS",
+    "Link",
+    "LinkParams",
+    "Message",
+    "MessageKind",
+    "PackedChannel",
+    "Route",
+]

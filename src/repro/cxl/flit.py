@@ -1,0 +1,79 @@
+"""Flits and messages on the CXL fabric."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+#: CXL's default data transfer granularity (Section IV-B: "the default data
+#: transfer granularity in CXL is 64 Bytes").
+FLIT_BYTES = 64
+
+#: Header bytes per memory request on the wire (address + metadata).
+REQUEST_HEADER_BYTES = 16
+#: Header bytes prefixed to each packed payload so the unpacker can separate
+#: and route it (Fig. 6's per-datum tag).
+PACKED_HEADER_BYTES = 2
+#: Header bytes per response message.
+RESPONSE_HEADER_BYTES = 8
+
+
+class MessageKind(enum.Enum):
+    """What a fabric message carries."""
+
+    MEM_REQUEST = "mem_request"     # a memory read/write command
+    MEM_RESPONSE = "mem_response"   # data returning to a requester
+    TASK = "task"                   # a task dispatch (read + metadata)
+    CONTROL = "control"             # framework/coherence traffic
+
+
+_message_ids = itertools.count()
+
+
+@dataclass
+class Message:
+    """One logical payload travelling the fabric.
+
+    ``payload_bytes`` is the *useful* content; how many wire bytes it costs
+    depends on whether the channel packs fine-grained payloads together
+    (see :class:`repro.cxl.packer.PackedChannel`).
+    """
+
+    kind: MessageKind
+    payload_bytes: int
+    destination: str
+    on_delivered: Optional[Callable[["Message"], None]] = None
+    #: Arbitrary cargo (usually the MemoryRequest this message moves).
+    cargo: object = None
+    msg_id: int = field(default_factory=lambda: next(_message_ids))
+    created_at: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes <= 0:
+            raise ValueError("payload_bytes must be positive")
+
+    @property
+    def header_bytes(self) -> int:
+        """Per-message header cost when packed into a shared flit."""
+        if self.kind is MessageKind.MEM_REQUEST:
+            return REQUEST_HEADER_BYTES
+        if self.kind is MessageKind.MEM_RESPONSE:
+            return PACKED_HEADER_BYTES
+        return PACKED_HEADER_BYTES
+
+    @property
+    def unpacked_wire_bytes(self) -> int:
+        """Wire cost without data packing: whole flits only."""
+        total = self.payload_bytes + self.header_bytes
+        return -(-total // FLIT_BYTES) * FLIT_BYTES
+
+    @property
+    def packed_wire_bytes(self) -> int:
+        """Wire cost contribution when sharing flits with other payloads."""
+        return self.payload_bytes + self.header_bytes
+
+    def deliver(self) -> None:
+        if self.on_delivered is not None:
+            self.on_delivered(self)

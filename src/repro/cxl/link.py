@@ -1,0 +1,90 @@
+"""Serializing fabric links.
+
+A :class:`Link` is one direction of a point-to-point channel: transfers
+serialize at the link bandwidth, then arrive after the propagation latency.
+The same class models CXL buses, host DDR channels (for the baselines), and
+the internal Switch-Bus; only the parameters differ.  Idealized
+communication — the "infinite bandwidth and zero latency" configuration of
+Fig. 3 — is a link with :data:`IDEAL_LINK_PARAMS`.
+
+Energy is accrued per wire byte (pJ/B), following the off-chip interconnect
+energy numbers of CACTI-IO / Keckler et al. that the paper cites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.sim.component import Component
+
+
+@dataclass(frozen=True)
+class LinkParams:
+    """Bandwidth/latency/energy of one link direction."""
+
+    #: Serialization bandwidth in bytes per DRAM cycle (1.25 ns).  A CXL x8
+    #: PCIe5 port moves 32 GB/s = 40 B/cycle; a DDR4-1600 channel 12.8 GB/s
+    #: = 16 B/cycle.
+    bytes_per_cycle: float
+    #: Propagation + protocol latency in cycles.
+    latency_cycles: int
+    #: Transfer energy in picojoules per byte.
+    pj_per_byte: float = 0.0
+    #: Infinite-bandwidth flag (idealized communication).
+    ideal: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.ideal and self.bytes_per_cycle <= 0:
+            raise ValueError("bytes_per_cycle must be positive")
+        if self.latency_cycles < 0:
+            raise ValueError("latency_cycles must be non-negative")
+
+
+#: Fig. 3's imaginary idealized communication: instant data delivery.
+IDEAL_LINK_PARAMS = LinkParams(bytes_per_cycle=1.0, latency_cycles=0,
+                               pj_per_byte=0.0, ideal=True)
+
+
+class Link(Component):
+    """One direction of a point-to-point channel."""
+
+    def __init__(self, engine, name: str, parent, params: LinkParams) -> None:
+        super().__init__(engine, name, parent)
+        self.params = params
+        self._free_at = 0
+
+    def transfer(self, wire_bytes: int, on_delivered: Callable[[], None]) -> int:
+        """Ship ``wire_bytes``; invoke ``on_delivered`` at arrival.
+
+        Returns the delivery cycle.  Transfers serialize in submission
+        order (the Bus Controllers arbitrate fairly, which FIFO order
+        approximates).
+        """
+        if wire_bytes <= 0:
+            raise ValueError("wire_bytes must be positive")
+        self.stats.add("messages", 1)
+        self.stats.add("wire_bytes", wire_bytes)
+        self.stats.add("energy_pj", wire_bytes * self.params.pj_per_byte)
+        if self.params.ideal:
+            arrive = self.now
+            self.engine.schedule(0, on_delivered)
+            return arrive
+        start = max(self.now, self._free_at)
+        serialize = -(-wire_bytes // self.params.bytes_per_cycle)
+        self._free_at = start + int(serialize)
+        arrive = self._free_at + self.params.latency_cycles
+        self.stats.add("busy_cycles", int(serialize))
+        self.engine.schedule_at(arrive, on_delivered)
+        return arrive
+
+    @property
+    def free_at(self) -> int:
+        """Cycle after which a new transfer would start serializing."""
+        return self._free_at
+
+    def utilization(self, end_cycle: int) -> float:
+        """Fraction of cycles spent serializing, up to ``end_cycle``."""
+        if end_cycle <= 0:
+            return 0.0
+        return min(1.0, self.stats.get("busy_cycles") / end_cycle)

@@ -1,0 +1,451 @@
+"""Pool topologies, routing, and the memory-access fabric.
+
+The systems under study differ mostly in *where computation sits* and *what
+path memory traffic takes*:
+
+* **BEACON-D** — PEs on CXLG-DIMMs; remote traffic turns around inside the
+  owning CXL switch when the memory access optimization (device bias) is on,
+  or detours through the host when it is off (Fig. 9 (a) vs (b)).
+* **BEACON-S** — PEs in the switches; same bias behaviour (Fig. 9 (c)/(d)).
+* **MEDAL/NEST** — PEs on DDR-DIMMs; every inter-DIMM transfer crosses the
+  shared DDR channel twice (in and out) plus the host memory controller,
+  which is the communication bottleneck BEACON removes.
+
+A :class:`Fabric` is a tree of named nodes (host at the root, switches or
+DDR channels in the middle, DIMMs at the leaves) with a
+:class:`~repro.cxl.packer.PackedChannel` per direction per edge and internal
+buses inside switches and the host.  :meth:`Fabric.route` walks the tree;
+:meth:`MemoryPool.access` runs the full request -> DRAM -> response round
+trip including controller backpressure and atomic hand-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.cxl.flit import Message, MessageKind
+from repro.cxl.host import Host
+from repro.cxl.link import IDEAL_LINK_PARAMS, Link, LinkParams
+from repro.cxl.packer import PackedChannel
+from repro.cxl.switch import CxlSwitch
+from repro.dram.controller import DimmController
+from repro.dram.dimm import Dimm, DimmKind
+from repro.dram.request import AccessKind, MemoryRequest
+from repro.dram.timing import DimmGeometry, DramTiming
+from repro.sim.component import Component
+
+#: Wire payload of a read request / write ack (address + metadata).
+READ_REQUEST_PAYLOAD = 8
+WRITE_ACK_PAYLOAD = 2
+
+
+@dataclass(frozen=True)
+class CommParams:
+    """All communication parameters of one system configuration."""
+
+    #: CXL bus: host<->switch and switch<->DIMM (x8 PCIe5: 32 GB/s).
+    cxl_link: LinkParams = LinkParams(bytes_per_cycle=40.0, latency_cycles=40,
+                                      pj_per_byte=30.0)
+    #: The in-switch Switch-Bus (wide, short).
+    switch_bus: LinkParams = LinkParams(bytes_per_cycle=128.0, latency_cycles=6,
+                                        pj_per_byte=3.0)
+    #: Host root-complex forwarding path (the coherence detour cost).
+    host_bus: LinkParams = LinkParams(bytes_per_cycle=64.0, latency_cycles=80,
+                                      pj_per_byte=30.0)
+    #: Shared DDR channel of the baseline systems (12.8 GB/s).
+    ddr_channel: LinkParams = LinkParams(bytes_per_cycle=16.0, latency_cycles=20,
+                                         pj_per_byte=25.0)
+    #: PE -> local on-DIMM memory controller latency (cycles).
+    dimm_local_latency: int = 4
+    #: Data Packer enabled (Fig. 6)?
+    data_packing: bool = False
+    #: Memory access optimization / device bias (Fig. 9)?
+    device_bias: bool = False
+    #: Data Packer flush timeout in cycles.
+    flush_timeout: int = 8
+    #: RMW arithmetic latency of a local (same-DIMM NDP) atomic.
+    atomic_compute_cycles: int = 4
+    #: Replace every link with idealized communication (Fig. 3)?
+    ideal: bool = False
+
+    def resolve(self, params: LinkParams) -> LinkParams:
+        """Apply the idealized-communication override."""
+        return IDEAL_LINK_PARAMS if self.ideal else params
+
+    def idealized(self) -> "CommParams":
+        """A copy with infinite-bandwidth, zero-latency communication."""
+        return replace(self, ideal=True, dimm_local_latency=0)
+
+
+@dataclass
+class Route:
+    """An ordered list of channel hops between two nodes."""
+
+    src: str
+    dst: str
+    hops: List[PackedChannel]
+    via_host: bool
+
+    @property
+    def hop_count(self) -> int:
+        return len(self.hops)
+
+
+class Fabric(Component):
+    """Tree-structured interconnect with per-edge packed channels."""
+
+    def __init__(self, engine, name: str, parent, comm: CommParams) -> None:
+        super().__init__(engine, name, parent)
+        self.comm = comm
+        self._parent_of: Dict[str, Optional[str]] = {}
+        self._channels: Dict[Tuple[str, str], PackedChannel] = {}
+        self._internal: Dict[str, PackedChannel] = {}
+        self.host: Optional[Host] = None
+        self.switches: Dict[str, CxlSwitch] = {}
+
+    # -- construction -------------------------------------------------------------
+
+    def add_host(self, name: str = "host") -> Host:
+        self.host = Host(self.engine, name, self, self.comm.resolve(self.comm.host_bus))
+        self._parent_of[name] = None
+        self._internal[name] = self._make_channel(self.host.bus, f"{name}.buschan")
+        return self.host
+
+    def add_switch(self, name: str, uplink: Optional[LinkParams] = None) -> CxlSwitch:
+        if self.host is None:
+            raise RuntimeError("add_host first")
+        switch = CxlSwitch(
+            self.engine, name, self, self.comm.resolve(self.comm.switch_bus)
+        )
+        self.switches[name] = switch
+        self._parent_of[name] = self.host.name
+        self._internal[name] = self._make_channel(switch.bus, f"{name}.buschan")
+        self._connect(self.host.name, name, uplink or self.comm.cxl_link)
+        return switch
+
+    def add_ddr_channel_node(self, name: str) -> Link:
+        """A DDR channel: a mid-tree node whose *edges* share one bus.
+
+        Returns the shared bus link so callers can attach DIMMs to it.
+        The host<->channel edge is free (the channel terminates at the host
+        memory controller); the host bus itself models the MC cost.
+        """
+        if self.host is None:
+            raise RuntimeError("add_host first")
+        self._parent_of[name] = self.host.name
+        shared = Link(
+            self.engine, f"{name}.bus", self, self.comm.resolve(self.comm.ddr_channel)
+        )
+        self._connect(self.host.name, name, IDEAL_LINK_PARAMS)
+        self._shared_buses = getattr(self, "_shared_buses", {})
+        self._shared_buses[name] = shared
+        return shared
+
+    def add_dimm_node(self, name: str, parent: str,
+                      downlink: Optional[LinkParams] = None) -> None:
+        if parent not in self._parent_of:
+            raise ValueError(f"unknown parent node {parent!r}")
+        self._parent_of[name] = parent
+        shared = getattr(self, "_shared_buses", {}).get(parent)
+        if shared is not None:
+            # DDR multidrop: every DIMM<->channel edge shares the bus link.
+            self._connect_shared(parent, name, shared)
+        else:
+            self._connect(parent, name, downlink or self.comm.cxl_link)
+        if parent in self.switches:
+            self.switches[parent].attach_dimm(name)
+
+    def _make_channel(self, link: Link, name: str) -> PackedChannel:
+        return PackedChannel(
+            self.engine, name, self, link,
+            packing=self.comm.data_packing,
+            flush_timeout=self.comm.flush_timeout,
+        )
+
+    def _connect(self, a: str, b: str, params: LinkParams) -> None:
+        resolved = self.comm.resolve(params)
+        for src, dst in ((a, b), (b, a)):
+            link = Link(self.engine, f"{src}->{dst}", self, resolved)
+            self._channels[(src, dst)] = self._make_channel(link, f"{src}->{dst}.chan")
+
+    def _connect_shared(self, a: str, b: str, shared: Link) -> None:
+        for src, dst in ((a, b), (b, a)):
+            self._channels[(src, dst)] = self._make_channel(
+                shared, f"{src}->{dst}.chan"
+            )
+
+    # -- routing --------------------------------------------------------------------
+
+    def _ancestors(self, node: str) -> List[str]:
+        chain = [node]
+        while self._parent_of[chain[-1]] is not None:
+            chain.append(self._parent_of[chain[-1]])
+        return chain
+
+    def route(self, src: str, dst: str, force_host: bool = False) -> Route:
+        """Channel hops from ``src`` to ``dst``.
+
+        ``force_host`` models the missing device-bias optimization: the
+        route is stretched to the host even when a switch could turn the
+        traffic around locally.
+        """
+        if src == dst:
+            return Route(src, dst, [], via_host=False)
+        up = self._ancestors(src)
+        down = self._ancestors(dst)
+        up_index = {n: i for i, n in enumerate(up)}
+        pivot = next(n for n in down if n in up_index)
+        if force_host and self.host is not None:
+            pivot = self.host.name
+        seq = up[: up_index[pivot] + 1] + list(reversed(down[: down.index(pivot)]))
+        hops: List[PackedChannel] = []
+        for i, node in enumerate(seq):
+            if i > 0:
+                hops.append(self._channels[(seq[i - 1], node)])
+            # Traffic entering a switch or the host crosses its internal
+            # bus once; DIMM and DDR-channel nodes have no internal bus.
+            if node in self._internal:
+                hops.append(self._internal[node])
+        via_host = self.host is not None and self.host.name in seq
+        if via_host and self.host is not None:
+            self.host.record_detour(0)
+        else:
+            for node in seq[1:-1]:
+                if node in self.switches:
+                    self.switches[node].record_turnaround()
+        return Route(src, dst, hops, via_host)
+
+    # -- transfer ----------------------------------------------------------------------
+
+    def send(
+        self,
+        route: Route,
+        kind: MessageKind,
+        payload_bytes: int,
+        on_delivered: Callable[[], None],
+        cargo: object = None,
+    ) -> None:
+        """Move a payload along ``route`` hop by hop, then call back."""
+        hops = route.hops
+        if not hops:
+            self.engine.schedule(self.comm.dimm_local_latency, on_delivered)
+            return
+
+        def advance(index: int) -> None:
+            if index == len(hops):
+                on_delivered()
+                return
+            message = Message(
+                kind=kind,
+                payload_bytes=payload_bytes,
+                destination=route.dst,
+                cargo=cargo,
+                on_delivered=lambda _m, i=index: advance(i + 1),
+            )
+            hops[index].send(message)
+
+        advance(0)
+
+    def comm_energy_pj(self) -> float:
+        """Total communication energy accrued on every link of the fabric."""
+        return self.stats.total("energy_pj")
+
+
+class MemoryPool(Component):
+    """Fabric + DIMMs + controllers: the complete simulated memory system."""
+
+    #: Retry delay when a DIMM controller queue is full.
+    RETRY_CYCLES = 16
+
+    def __init__(
+        self,
+        engine,
+        name: str,
+        parent,
+        comm: CommParams,
+        geometry: DimmGeometry = DimmGeometry(),
+        timing: DramTiming = DramTiming(),
+    ) -> None:
+        super().__init__(engine, name, parent)
+        self.comm = comm
+        self.geometry = geometry
+        self.timing = timing
+        self.fabric = Fabric(engine, "fabric", self, comm)
+        self.dimms: List[Dimm] = []
+        self.controllers: List[DimmController] = []
+        self.dimm_nodes: List[str] = []
+        self._dimm_parent: Dict[int, str] = {}
+        self._atomic_engines: Dict[str, object] = {}
+
+    # -- construction ---------------------------------------------------------------
+
+    def add_dimm(self, node_name: str, parent_node: str, kind: DimmKind) -> int:
+        """Create a DIMM + controller attached at ``parent_node``."""
+        index = len(self.dimms)
+        dimm = Dimm(self.engine, node_name, self, kind, self.geometry, self.timing)
+        controller = DimmController(self.engine, f"{node_name}.mc", self, dimm)
+        self.fabric.add_dimm_node(node_name, parent_node)
+        self.dimms.append(dimm)
+        self.controllers.append(controller)
+        self.dimm_nodes.append(node_name)
+        self._dimm_parent[index] = parent_node
+        return index
+
+    def owner_switch(self, dimm_index: int) -> str:
+        """Node name of the switch/channel the DIMM hangs below."""
+        return self._dimm_parent[dimm_index]
+
+    def register_atomic_engine(self, node_name: str, engine_obj) -> None:
+        """Attach the component serving ATOMIC_RMW at ``node_name``.
+
+        ``engine_obj`` must provide ``perform(pool, request, respond)``.
+        """
+        self._atomic_engines[node_name] = engine_obj
+
+    # -- the access path ----------------------------------------------------------------
+
+    def access(self, request: MemoryRequest, src_node: str) -> None:
+        """Run one memory access from ``src_node`` to completion.
+
+        Handles routing (with/without device bias), controller submission
+        with backpressure retry, the response trip, and atomic hand-off to
+        the owning switch's Atomic Engine.
+        """
+        if request.dimm_index is None or request.coord is None:
+            raise ValueError("request must be translated before access()")
+        if request.issued_at is None:
+            request.issued_at = self.now
+        dst_node = self.dimm_nodes[request.dimm_index]
+
+        if request.kind is AccessKind.ATOMIC_RMW:
+            if src_node != dst_node:
+                self._route_atomic(request, src_node, dst_node)
+            else:
+                self._local_atomic(request, src_node)
+            return
+
+        force_host = not self.comm.device_bias
+        if src_node == dst_node:
+            force_host = False  # a PE's own DIMM is always device memory
+        route_req = self.fabric.route(src_node, dst_node, force_host=force_host)
+        route_resp = self.fabric.route(dst_node, src_node, force_host=force_host)
+
+        original_callback = request.on_complete
+
+        def on_dram_done(req: MemoryRequest) -> None:
+            payload = WRITE_ACK_PAYLOAD if req.is_write else req.size
+            self.fabric.send(
+                route_resp,
+                MessageKind.MEM_RESPONSE,
+                payload,
+                on_delivered=lambda: self._finish(req, original_callback),
+                cargo=req,
+            )
+
+        def submit() -> None:
+            request.on_complete = on_dram_done
+            self.controllers[request.dimm_index].submit_when_possible(request)
+
+        req_payload = READ_REQUEST_PAYLOAD + (request.size if request.is_write else 0)
+        self.fabric.send(
+            route_req, MessageKind.MEM_REQUEST, req_payload,
+            on_delivered=submit, cargo=request,
+        )
+
+    def _finish(self, request: MemoryRequest, callback) -> None:
+        request.on_complete = callback
+        request.completed_at = self.now
+        if callback is not None:
+            callback(request)
+
+    def _route_atomic(self, request: MemoryRequest, src_node: str, dst_node: str) -> None:
+        """Fig. 7: ship the atomic to the owning switch's Atomic Engine."""
+        switch_node = self.owner_switch(request.dimm_index)
+        engine_obj = self._atomic_engines.get(switch_node)
+        if engine_obj is None:
+            raise RuntimeError(f"no atomic engine registered at {switch_node}")
+        force_host = not self.comm.device_bias
+        route_req = self.fabric.route(src_node, switch_node, force_host=force_host)
+        route_resp = self.fabric.route(switch_node, src_node, force_host=force_host)
+        original_callback = request.on_complete
+
+        def respond(req: MemoryRequest) -> None:
+            self.fabric.send(
+                route_resp, MessageKind.MEM_RESPONSE, WRITE_ACK_PAYLOAD,
+                on_delivered=lambda: self._finish(req, original_callback),
+                cargo=req,
+            )
+
+        def at_switch() -> None:
+            engine_obj.perform(self, request, respond)
+
+        self.fabric.send(
+            route_req, MessageKind.MEM_REQUEST,
+            READ_REQUEST_PAYLOAD + request.size,
+            on_delivered=at_switch, cargo=request,
+        )
+
+    def _local_atomic(self, request: MemoryRequest, src_node: str) -> None:
+        """RMW on the NDP module's own DIMM (BEACON-D local counters):
+        read, arithmetic in the module, write back — no fabric involved."""
+        original_callback = request.on_complete
+
+        def after_read(_r: MemoryRequest) -> None:
+            self.engine.schedule(self.comm.atomic_compute_cycles, do_write)
+
+        def do_write() -> None:
+            write = MemoryRequest(
+                addr=request.addr, size=request.size, kind=AccessKind.WRITE,
+                data_class=request.data_class, task_id=request.task_id,
+                source=src_node,
+            )
+            write.dimm_index = request.dimm_index
+            write.coord = request.coord
+            self.dram_access(
+                write, src_node,
+                on_done=lambda _w: self._finish(request, original_callback),
+            )
+
+        read = MemoryRequest(
+            addr=request.addr, size=request.size, kind=AccessKind.READ,
+            data_class=request.data_class, task_id=request.task_id,
+            source=src_node,
+        )
+        read.dimm_index = request.dimm_index
+        read.coord = request.coord
+        self.dram_access(read, src_node, on_done=after_read)
+
+    # -- local (same-node) DRAM access used by atomic engines -----------------------------
+
+    def dram_access(
+        self,
+        request: MemoryRequest,
+        src_node: str,
+        on_done: Callable[[MemoryRequest], None],
+    ) -> None:
+        """Switch-local DRAM round trip (switch -> DIMM -> switch).
+
+        Used by the Atomic Engines for the read and write halves of an RMW;
+        bias never matters here because the switch owns the DIMM.
+        """
+        dst_node = self.dimm_nodes[request.dimm_index]
+        route_req = self.fabric.route(src_node, dst_node, force_host=False)
+        route_resp = self.fabric.route(dst_node, src_node, force_host=False)
+
+        def on_dram_done(req: MemoryRequest) -> None:
+            payload = WRITE_ACK_PAYLOAD if req.is_write else req.size
+            self.fabric.send(
+                route_resp, MessageKind.MEM_RESPONSE, payload,
+                on_delivered=lambda: on_done(req), cargo=req,
+            )
+
+        def submit() -> None:
+            request.on_complete = on_dram_done
+            self.controllers[request.dimm_index].submit_when_possible(request)
+
+        req_payload = READ_REQUEST_PAYLOAD + (request.size if request.is_write else 0)
+        self.fabric.send(
+            route_req, MessageKind.MEM_REQUEST, req_payload,
+            on_delivered=submit, cargo=request,
+        )

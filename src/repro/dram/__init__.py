@@ -1,0 +1,37 @@
+"""DDR4 DRAM substrate (the repository's Ramulator equivalent).
+
+Models DIMMs at bank granularity: per-bank row-buffer state machines with
+DDR4-1600 timing constraints, per-chip-group data buses, FR-FCFS memory
+controllers, the fine-grained chip-select capability of CXLG-DIMMs
+(including multi-chip coalescing), the Fig. 10 address-mapping schemes, and
+a DRAMPower-style energy model.
+"""
+
+from repro.dram.request import AccessKind, DataClass, DramCoord, MemoryRequest
+from repro.dram.timing import DramTiming, DimmGeometry
+from repro.dram.mapping import (
+    AddressMapping,
+    ChipInterleaveMapping,
+    RankInterleaveMapping,
+    RowLocalityMapping,
+)
+from repro.dram.dimm import Dimm, DimmKind
+from repro.dram.controller import DimmController
+from repro.dram.power import DramEnergyModel
+
+__all__ = [
+    "AccessKind",
+    "AddressMapping",
+    "ChipInterleaveMapping",
+    "DataClass",
+    "Dimm",
+    "DimmController",
+    "DimmGeometry",
+    "DimmKind",
+    "DramCoord",
+    "DramEnergyModel",
+    "DramTiming",
+    "MemoryRequest",
+    "RankInterleaveMapping",
+    "RowLocalityMapping",
+]

@@ -1,0 +1,47 @@
+"""Per-chip access accounting.
+
+Fig. 13 of the paper plots normalized memory access per DRAM chip with and
+without multi-chip coalescing; :class:`ChipAccessCounters` collects exactly
+that data while the controller serves requests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.dram.timing import DimmGeometry
+
+
+class ChipAccessCounters:
+    """Burst counters per (rank, chip) of one DIMM."""
+
+    def __init__(self, geometry: DimmGeometry) -> None:
+        self.geometry = geometry
+        self.bursts = np.zeros((geometry.ranks, geometry.chips_per_rank), dtype=np.int64)
+
+    def record(self, rank: int, chip_group: int, chips_per_group: int, bursts: int) -> None:
+        """Credit ``bursts`` bursts to every chip in the accessed group."""
+        first = chip_group * chips_per_group
+        self.bursts[rank, first : first + chips_per_group] += bursts
+
+    def per_chip(self) -> List[int]:
+        """Total bursts per chip position, summed over ranks."""
+        return [int(v) for v in self.bursts.sum(axis=0)]
+
+    def normalized(self) -> List[float]:
+        """Per-chip bursts normalized to the mean (the Fig. 13 series)."""
+        totals = np.asarray(self.per_chip(), dtype=np.float64)
+        mean = totals.mean()
+        if mean == 0:
+            return [0.0] * len(totals)
+        return [float(v) for v in totals / mean]
+
+    def imbalance(self) -> float:
+        """Coefficient of variation across chips (0 == perfectly balanced)."""
+        totals = np.asarray(self.per_chip(), dtype=np.float64)
+        mean = totals.mean()
+        if mean == 0:
+            return 0.0
+        return float(totals.std() / mean)

@@ -1,0 +1,227 @@
+"""DIMM memory controller with FR-FCFS scheduling.
+
+One controller fronts one DIMM.  Architecturally the controller logic lives
+in different places per system — on the CXLG-DIMM's NDP module in BEACON-D,
+in the CXL-Switch's Switch-Logic for unmodified DIMMs, on the buffer device
+of MEDAL/NEST DDR-DIMMs — but the scheduling behaviour is identical; *where*
+it lives only changes the communication path requests take to reach it,
+which the topology layer models.
+
+Scheduling policy: FR-FCFS (first-ready, first-come-first-served) — among
+queued requests whose banks and chips can accept a command now, prefer row
+hits, then age.  ``policy="fcfs"`` disables the row-hit bypass for the
+ablation study.
+
+This module is the simulator's hottest code path; it trades a little
+elegance for speed (flat bank arrays, plan objects reused between the
+scheduling decision and the issue).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.dram.bank import Bank
+from repro.dram.dimm import Dimm
+from repro.dram.request import MemoryRequest
+from repro.sim.component import Component
+from repro.sim.queueing import BoundedQueue
+
+#: A timing plan: (start, pre_data, transfer, activate, banks, chip_span).
+Plan = Tuple[int, int, int, bool, List[Bank], range]
+
+
+class DimmController(Component):
+    """Request scheduler + bank timing orchestrator for one DIMM."""
+
+    #: Cap on how deep FR-FCFS searches the queue for a ready row hit; real
+    #: controllers bound the associative search the same way.
+    SCHED_WINDOW = 8
+
+    def __init__(
+        self,
+        engine,
+        name: str,
+        parent,
+        dimm: Dimm,
+        queue_capacity: int = 64,
+        policy: str = "frfcfs",
+    ) -> None:
+        super().__init__(engine, name, parent)
+        if policy not in ("frfcfs", "fcfs"):
+            raise ValueError(f"unknown policy {policy!r}")
+        self.dimm = dimm
+        self.policy = policy
+        self.queue: BoundedQueue[MemoryRequest] = BoundedQueue(
+            f"{name}.reqq", capacity=queue_capacity
+        )
+        #: Requests waiting for queue space (admitted FIFO as slots free up).
+        self._waiters: List[MemoryRequest] = []
+        self._wake_at: Optional[int] = None
+
+    # -- submission -------------------------------------------------------------
+
+    def submit(self, request: MemoryRequest) -> bool:
+        """Queue a request; returns False (backpressure) when full."""
+        if request.coord is None:
+            raise ValueError("request must be address-mapped before submission")
+        self.dimm.validate_group(request.coord.chips_per_group)
+        if not self.queue.try_push(request):
+            self.stats.add("rejected", 1)
+            return False
+        if request.issued_at is None:
+            request.issued_at = self.engine.now
+        self.stats.add("accepted", 1)
+        self.dimm.refresh.notify_activity()
+        self._wake(0)
+        return True
+
+    def submit_when_possible(self, request: MemoryRequest) -> None:
+        """Queue a request, parking it until the controller has space.
+
+        This is what the I/O buffers in front of the MCs do (Section IV-B):
+        remote requests "wait at the MCs to be issued out" rather than being
+        dropped, so callers never need to poll.
+        """
+        if request.coord is None:
+            raise ValueError("request must be address-mapped before submission")
+        self.dimm.validate_group(request.coord.chips_per_group)
+        if request.issued_at is None:
+            request.issued_at = self.engine.now
+        self.dimm.refresh.notify_activity()
+        if not self.queue.full() and not self._waiters:
+            self.queue.push(request)
+            self.stats.add("accepted", 1)
+            self._wake(0)
+        else:
+            self._waiters.append(request)
+            self.stats.add("parked", 1)
+
+    def _admit_waiters(self) -> None:
+        while self._waiters and not self.queue.full():
+            self.queue.push(self._waiters.pop(0))
+            self.stats.add("accepted", 1)
+
+    @property
+    def pending(self) -> int:
+        return len(self.queue) + len(self._waiters)
+
+    # -- scheduling ---------------------------------------------------------------
+
+    def _wake(self, delay: int) -> None:
+        """Schedule a scheduling pass, collapsing redundant wakeups."""
+        target = self.engine.now + delay
+        if self._wake_at is not None and self._wake_at <= target:
+            return
+        self._wake_at = target
+        self.engine.schedule(delay, self._schedule_pass)
+
+    def _schedule_pass(self) -> None:
+        if self._wake_at is not None and self._wake_at > self.engine.now:
+            return  # superseded by an earlier pass
+        self._wake_at = None
+        next_start: Optional[int] = None
+        while self.queue:
+            picked = self._pick_ready()
+            if isinstance(picked, int):
+                next_start = picked
+                break
+            request, plan = picked
+            self.queue.remove(request)
+            self._issue(request, plan)
+            self._admit_waiters()
+        if self.queue and next_start is not None:
+            self._wake(max(1, next_start - self.engine.now))
+
+    def _plan(self, request: MemoryRequest) -> Plan:
+        """Timing plan for a request.
+
+        The command phase may begin while the chip data bus still serves an
+        earlier transfer — only the *data windows* serialize on the bus —
+        which is what lets accesses to different banks pipeline.
+        """
+        coord = request.coord
+        dimm = self.dimm
+        timing = dimm.timing
+        group_bytes = dimm.geometry.burst_bytes_per_chip * coord.chips_per_group
+        transfer = -(-request.size // group_bytes) * timing.tbl
+        chips = range(coord.first_chip, coord.first_chip + coord.chips_per_group)
+        rank, bank_index, row = coord.rank, coord.bank, coord.row
+        is_write = request.is_write
+        get_bank = dimm.bank
+        banks = [get_bank(rank, chip, bank_index) for chip in chips]
+        pre_data, activate = banks[0].classify(row, timing, is_write)
+        start = self.engine.now
+        chip_free = dimm.chip_free_at
+        for chip, bank in zip(chips, banks):
+            s = bank.earliest_start(start, activate, timing)
+            if s > start:
+                start = s
+            bus = chip_free(rank, chip) - pre_data
+            if bus > start:
+                start = bus
+        return start, pre_data, transfer, activate, banks, chips
+
+    def _earliest_start(self, request: MemoryRequest) -> int:
+        return self._plan(request)[0]
+
+    def _pick_ready(self):
+        """FR-FCFS pick: ``(request, plan)`` ready now, else the earliest
+        future start time (int), for the next wakeup."""
+        now = self.engine.now
+        window = 0
+        first_ready = None
+        first_ready_plan = None
+        min_start = None
+        prefer_hits = self.policy == "frfcfs"
+        for request in self.queue.items():
+            if window >= self.SCHED_WINDOW:
+                break
+            window += 1
+            plan = self._plan(request)
+            start = plan[0]
+            if start <= now:
+                if not prefer_hits:
+                    return request, plan
+                if not plan[3]:  # row hit (no activate needed)
+                    return request, plan
+                if first_ready is None:
+                    first_ready, first_ready_plan = request, plan
+            elif min_start is None or start < min_start:
+                min_start = start
+        if first_ready is not None:
+            return first_ready, first_ready_plan
+        return min_start if min_start is not None else self.engine.now + 1
+
+    # -- issue ---------------------------------------------------------------------
+
+    def _issue(self, request: MemoryRequest, plan: Plan) -> None:
+        start, pre_data, transfer_cycles, activate, banks, chips = plan
+        coord = request.coord
+        dimm = self.dimm
+        timing = dimm.timing
+        bursts = transfer_cycles // timing.tbl
+        finish = start
+        for bank in banks:
+            f = bank.commit(start, coord.row, pre_data, transfer_cycles,
+                            activate, timing, request.is_write)
+            if f > finish:
+                finish = f
+        if activate:
+            dimm.energy.on_activate(chips=coord.chips_per_group)
+        # The chip data bus is occupied only during the transfer window.
+        for chip in chips:
+            dimm.set_chip_free_at(coord.rank, chip, finish)
+        dimm.chip_counters.record(
+            coord.rank, coord.chip_group, coord.chips_per_group, bursts
+        )
+        dimm.energy.on_burst(coord.chips_per_group, bursts, request.is_write)
+        group_bytes_per_burst = (
+            dimm.geometry.burst_bytes_per_chip * coord.chips_per_group
+        )
+        self.stats.add("issued", 1)
+        self.stats.add("bursts", bursts)
+        self.stats.add("bytes_accessed", bursts * group_bytes_per_burst)
+        self.stats.add("useful_bytes", request.size)
+        self.stats.record("service_cycles", finish - self.engine.now)
+        self.engine.schedule_at(finish, lambda r=request: r.complete(self.engine.now))

@@ -1,0 +1,106 @@
+"""DIMM device model: banks, chips, energy, and kind."""
+
+from __future__ import annotations
+
+import enum
+from typing import List
+
+from repro.dram.bank import Bank
+from repro.dram.chip import ChipAccessCounters
+from repro.dram.refresh import RefreshEngine
+from repro.dram.power import DramEnergyModel, DramEnergyParams
+from repro.dram.timing import DimmGeometry, DramTiming
+from repro.sim.component import Component
+
+
+class DimmKind(enum.Enum):
+    """Which flavour of DIMM this is."""
+
+    #: Unmodified CXL-DIMM: lockstep rank access only, no NDP logic.
+    UNMODIFIED_CXL = "unmodified_cxl"
+    #: CXLG-DIMM: NDP module on the PCB, per-chip chip selects (BEACON-D).
+    CXLG = "cxlg"
+    #: Customized DDR-DIMM of the prior work (MEDAL/NEST), also per-chip CS.
+    DDR_CUSTOM = "ddr_custom"
+    #: Plain DDR-DIMM (CPU baseline memory).
+    DDR_PLAIN = "ddr_plain"
+
+    @property
+    def fine_grained(self) -> bool:
+        """Whether per-chip chip-select access is available."""
+        return self in (DimmKind.CXLG, DimmKind.DDR_CUSTOM)
+
+
+class Dimm(Component):
+    """One DIMM: bank state machines per (rank, chip, bank) plus accounting.
+
+    Bank state is tracked per *chip* so that chip groups of any width —
+    lockstep ranks, single chips, coalesced multi-chip groups — interact
+    correctly when regions with different mappings share a DIMM.
+    """
+
+    def __init__(
+        self,
+        engine,
+        name: str,
+        parent,
+        kind: DimmKind,
+        geometry: DimmGeometry = DimmGeometry(),
+        timing: DramTiming = DramTiming(),
+        energy_params: DramEnergyParams = DramEnergyParams(),
+    ) -> None:
+        super().__init__(engine, name, parent)
+        self.kind = kind
+        self.geometry = geometry
+        self.timing = timing
+        # Flat bank array indexed by (rank, chip, bank) — this is the
+        # simulator's hottest data structure.
+        self._banks_per_rank = geometry.chips_per_rank * geometry.banks
+        self._banks: List[Bank] = [
+            Bank() for _ in range(geometry.ranks * self._banks_per_rank)
+        ]
+        self.chip_counters = ChipAccessCounters(geometry)
+        # Per-(rank, chip) data-bus availability, flat.
+        self._chip_free_at: List[int] = [0] * (
+            geometry.ranks * geometry.chips_per_rank
+        )
+        self.energy = DramEnergyModel(
+            self.stats,
+            total_chips=geometry.ranks * geometry.chips_per_rank,
+            tck_ns=timing.tck_ns,
+            params=energy_params,
+        )
+        self.refresh = RefreshEngine(self)
+
+    def bank(self, rank: int, chip: int, bank: int) -> Bank:
+        return self._banks[
+            rank * self._banks_per_rank + chip * self.geometry.banks + bank
+        ]
+
+    def chip_free_at(self, rank: int, chip: int) -> int:
+        return self._chip_free_at[rank * self.geometry.chips_per_rank + chip]
+
+    def set_chip_free_at(self, rank: int, chip: int, time: int) -> None:
+        self._chip_free_at[rank * self.geometry.chips_per_rank + chip] = time
+
+    def validate_group(self, chips_per_group: int) -> None:
+        """Reject fine-grained access on DIMMs that cannot do it."""
+        if chips_per_group < self.geometry.chips_per_rank and not self.kind.fine_grained:
+            raise ValueError(
+                f"{self.path}: {self.kind.value} DIMMs only support lockstep "
+                f"rank access, got group of {chips_per_group} chips"
+            )
+
+    # -- aggregate statistics ---------------------------------------------------
+
+    @property
+    def total_activations(self) -> int:
+        return sum(b.activations for b in self._banks)
+
+    @property
+    def total_row_hits(self) -> int:
+        return sum(b.row_hits for b in self._banks)
+
+    @property
+    def total_row_conflicts(self) -> int:
+        return sum(b.row_conflicts for b in self._banks)

@@ -1,0 +1,78 @@
+"""DRAMPower-style energy model.
+
+Energy is accrued per event (activation, read/write burst) plus a
+background term proportional to simulated time.  The per-event constants
+follow the DRAMPower methodology for an 8 Gb x4 DDR4-1600 device: current
+profiles (IDD0/IDD4R/IDD4W/IDD2N at VDD = 1.2 V) folded into per-operation
+energies.  Absolute joules matter less than the *relative* costs — an
+activation is far more expensive than a column access, and fine-grained
+accesses that touch fewer chips proportionally save both — which is what
+the paper's energy figures exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DramEnergyParams:
+    """Per-event DRAM energies in nanojoules, per chip."""
+
+    #: One ACT+PRE pair on a single chip (IDD0 envelope over tRC).
+    act_pre_nj_per_chip: float = 0.14
+    #: One BL8 read burst on a single chip (IDD4R over tBL).
+    read_burst_nj_per_chip: float = 0.045
+    #: One BL8 write burst on a single chip (IDD4W over tBL).
+    write_burst_nj_per_chip: float = 0.05
+    #: Background (standby/refresh) power per chip in milliwatts.  Real
+    #: DDR4 idles around 10-15 mW/chip, but the paper's workloads keep the
+    #: pool saturated for hours so background is a small share of total
+    #: energy; the scaled simulations run the same pool for microseconds,
+    #: so the constant is reduced to keep the *share* representative
+    #: (documented in DESIGN.md's substitution table).
+    background_mw_per_chip: float = 3.0
+
+
+class DramEnergyModel:
+    """Accumulates DRAM energy into a stats scope.
+
+    One model instance serves one DIMM; the controller reports events and
+    the experiment harness calls :meth:`finalize` once with the end time to
+    add the background term.
+    """
+
+    def __init__(self, stats, total_chips: int, tck_ns: float,
+                 params: DramEnergyParams = DramEnergyParams()) -> None:
+        self.stats = stats
+        self.total_chips = total_chips
+        self.tck_ns = tck_ns
+        self.params = params
+
+    def on_activate(self, chips: int) -> None:
+        """An ACT(+eventual PRE) on ``chips`` chips of one rank."""
+        self.stats.add("energy_act_nj", self.params.act_pre_nj_per_chip * chips)
+
+    def on_burst(self, chips: int, bursts: int, is_write: bool) -> None:
+        """``bursts`` BL8 data bursts across ``chips`` chips."""
+        per = (
+            self.params.write_burst_nj_per_chip
+            if is_write
+            else self.params.read_burst_nj_per_chip
+        )
+        self.stats.add("energy_rw_nj", per * chips * bursts)
+
+    def finalize(self, end_cycle: int) -> None:
+        """Add background energy for the whole run (idempotent via ``set``)."""
+        seconds = end_cycle * self.tck_ns * 1e-9
+        background_nj = self.params.background_mw_per_chip * 1e-3 * self.total_chips * seconds * 1e9
+        self.stats.set("energy_background_nj", background_nj)
+
+    def total_nj(self) -> float:
+        """Dynamic + background energy accrued so far (nJ)."""
+        return (
+            self.stats.get("energy_act_nj")
+            + self.stats.get("energy_rw_nj")
+            + self.stats.get("energy_refresh_nj")
+            + self.stats.get("energy_background_nj")
+        )

@@ -1,0 +1,27 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every module exposes a ``run(scale)`` function returning a structured
+result object and a ``main()`` that prints the paper-style rows; the
+``benchmarks/`` suite calls ``run`` with the bench scale and asserts the
+qualitative claims (who wins, step gains, % of ideal), while
+``python -m repro.experiments.<figure>`` reproduces the full printout.
+
+See DESIGN.md's experiment index for the figure-to-module mapping and
+EXPERIMENTS.md for paper-vs-measured numbers.
+"""
+
+from repro.experiments.runner import (
+    ExperimentScale,
+    StepResult,
+    SweepResult,
+    build_system,
+    run_step_sweep,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "StepResult",
+    "SweepResult",
+    "build_system",
+    "run_step_sweep",
+]

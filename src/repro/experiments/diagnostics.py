@@ -1,0 +1,155 @@
+"""Post-run system diagnostics.
+
+Turns a finished :class:`~repro.core.beacon.BeaconSystem` into a structured
+picture of where the cycles and bytes went: per-link utilization and wire
+bytes, per-controller row-buffer behaviour and queue pressure, per-module
+PE utilization and task statistics, packing efficiency.  This is the tool
+used while calibrating the reproduction, kept as a public API because
+downstream users will need the same visibility when they change the
+architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class LinkDiag:
+    name: str
+    wire_bytes: float
+    utilization: float
+    messages: int
+
+
+@dataclass
+class ControllerDiag:
+    name: str
+    issued: int
+    row_hits: int
+    activations: int
+    row_conflicts: int
+    useful_bytes: float
+    accessed_bytes: float
+    parked: int
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.activations
+        return self.row_hits / total if total else 0.0
+
+    @property
+    def access_efficiency(self) -> float:
+        """Useful bytes per DRAM byte moved (fine-grained access quality)."""
+        return self.useful_bytes / self.accessed_bytes if self.accessed_bytes else 0.0
+
+
+@dataclass
+class ModuleDiag:
+    node: str
+    tasks_completed: int
+    mem_requests: int
+    local_fraction: float
+    migrations: int
+
+
+@dataclass
+class SystemDiagnostics:
+    runtime_cycles: int
+    links: List[LinkDiag] = field(default_factory=list)
+    controllers: List[ControllerDiag] = field(default_factory=list)
+    modules: List[ModuleDiag] = field(default_factory=list)
+
+    def hottest_links(self, n: int = 5) -> List[LinkDiag]:
+        return sorted(self.links, key=lambda l: -l.utilization)[:n]
+
+    def total_row_hit_rate(self) -> float:
+        hits = sum(c.row_hits for c in self.controllers)
+        acts = sum(c.activations for c in self.controllers)
+        return hits / (hits + acts) if hits + acts else 0.0
+
+    def bottleneck_guess(self) -> str:
+        """A coarse classification of what bounds the run."""
+        if not self.links:
+            return "unknown"
+        max_util = max(l.utilization for l in self.links)
+        if max_util > 0.7:
+            return f"link-bound ({self.hottest_links(1)[0].name})"
+        if self.total_row_hit_rate() < 0.3 and any(
+            c.issued > 0 for c in self.controllers
+        ):
+            return "dram-activation-bound"
+        return "latency/parallelism-bound"
+
+
+def collect(system) -> SystemDiagnostics:
+    """Gather diagnostics from a finished system run."""
+    end = system.engine.now
+    diag = SystemDiagnostics(runtime_cycles=end)
+    # Links live under the fabric's stat scope with a 'busy_cycles' counter.
+    from repro.cxl.link import Link
+
+    fabric_scope = system.pool.fabric.stats
+    for scope in fabric_scope.walk():
+        if "wire_bytes" in scope.counters:
+            busy = scope.counters.get("busy_cycles", 0.0)
+            diag.links.append(
+                LinkDiag(
+                    name=scope.path.split("fabric.")[-1],
+                    wire_bytes=scope.counters["wire_bytes"],
+                    utilization=min(1.0, busy / end) if end else 0.0,
+                    messages=int(scope.counters.get("messages", 0)),
+                )
+            )
+    for controller, dimm in zip(system.pool.controllers, system.pool.dimms):
+        diag.controllers.append(
+            ControllerDiag(
+                name=controller.name,
+                issued=int(controller.stats.get("issued")),
+                row_hits=dimm.total_row_hits,
+                activations=dimm.total_activations,
+                row_conflicts=dimm.total_row_conflicts,
+                useful_bytes=controller.stats.get("useful_bytes"),
+                accessed_bytes=controller.stats.get("bytes_accessed"),
+                parked=int(controller.stats.get("parked")),
+            )
+        )
+    for module in system.ndp_modules:
+        requests = module.stats.get("mem_requests")
+        diag.modules.append(
+            ModuleDiag(
+                node=module.node,
+                tasks_completed=module.tasks_completed,
+                mem_requests=int(requests),
+                local_fraction=(
+                    module.stats.get("local_requests") / requests
+                    if requests else 0.0
+                ),
+                migrations=int(module.stats.get("task_migrations", 0)),
+            )
+        )
+    return diag
+
+
+def print_diagnostics(diag: SystemDiagnostics) -> None:
+    """Pretty-print a diagnostics snapshot."""
+    print(f"runtime: {diag.runtime_cycles} cycles; "
+          f"row-hit rate {diag.total_row_hit_rate():.1%}; "
+          f"verdict: {diag.bottleneck_guess()}")
+    print("hottest links:")
+    for link in diag.hottest_links():
+        print(f"  {link.name:28s} util {link.utilization:6.1%} "
+              f"{link.wire_bytes:12,.0f} B {link.messages:8d} msgs")
+    print("controllers:")
+    for ctrl in diag.controllers:
+        print(f"  {ctrl.name:12s} issued {ctrl.issued:7d} "
+              f"hit-rate {ctrl.row_hit_rate:6.1%} "
+              f"efficiency {ctrl.access_efficiency:6.1%} "
+              f"parked {ctrl.parked}")
+    print("NDP modules:")
+    for module in diag.modules:
+        print(f"  {module.node:8s} tasks {module.tasks_completed:6d} "
+              f"requests {module.mem_requests:8d} "
+              f"local {module.local_fraction:6.1%} "
+              f"migrations {module.migrations}")

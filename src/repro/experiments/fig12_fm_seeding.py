@@ -1,0 +1,101 @@
+"""Fig. 12 — FM-index based DNA seeding, step-by-step optimizations.
+
+Paper (averages over the five genomes):
+
+* BEACON-D: CXL-vanilla = 144.18x CPU / 1.20x MEDAL; then data packing
+  1.08x, memory access opt 1.29x, placement & mapping 1.96x, multi-chip
+  coalescing 1.34x; full = 525.73x CPU / 4.36x MEDAL; 96.52% of idealized.
+* BEACON-S: vanilla = 146.64x CPU / 1.22x MEDAL; packing 1.08x, memory
+  access opt 1.57x, placement 1.18x; full = 291.62x CPU / 2.42x MEDAL;
+  98.48% of idealized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.config import Algorithm
+from repro.core.metrics import geometric_mean
+from repro.experiments.runner import (
+    ExperimentScale,
+    SweepResult,
+    print_sweep,
+    run_step_sweep,
+)
+
+ALGORITHM = Algorithm.FM_SEEDING
+
+
+@dataclass
+class SeedingFigureResult:
+    """Per-dataset sweeps for both BEACON variants (Figs. 12 and 14)."""
+
+    sweeps: Dict[str, List[SweepResult]]  # system -> one sweep per dataset
+
+    def mean_step_speedup(self, system: str, step_label: str) -> float:
+        values = []
+        for sweep in self.sweeps[system]:
+            for step in sweep.steps:
+                if step.label == step_label:
+                    values.append(step.step_speedup)
+        return geometric_mean(values)
+
+    def mean_speedup_vs_baseline(self, system: str) -> float:
+        return geometric_mean(
+            s.speedup_vs_baseline() for s in self.sweeps[system]
+        )
+
+    def mean_speedup_vs_cpu(self, system: str) -> float:
+        return geometric_mean(s.speedup_vs_cpu() for s in self.sweeps[system])
+
+    def mean_energy_vs_baseline(self, system: str) -> float:
+        return geometric_mean(
+            s.full.energy_reduction_vs(s.baseline) for s in self.sweeps[system]
+        )
+
+    def mean_percent_of_ideal(self, system: str) -> float:
+        return geometric_mean(s.percent_of_ideal for s in self.sweeps[system])
+
+    def step_labels(self, system: str) -> List[str]:
+        return [s.label for s in self.sweeps[system][0].steps]
+
+
+def run(scale: ExperimentScale = ExperimentScale.bench(),
+        algorithm: Algorithm = ALGORITHM) -> SeedingFigureResult:
+    """Execute the per-dataset sweeps for both variants at ``scale``."""
+    sweeps: Dict[str, List[SweepResult]] = {"beacon-d": [], "beacon-s": []}
+    for spec in scale.seeding_datasets():
+        workload = scale.seeding_workload(spec)
+        for system in ("beacon-d", "beacon-s"):
+            sweeps[system].append(
+                run_step_sweep(
+                    system, algorithm, workload, scale,
+                    with_ideal=True, baseline="medal", with_cpu=True,
+                )
+            )
+    return SeedingFigureResult(sweeps)
+
+
+def main(scale: ExperimentScale = ExperimentScale.bench(),
+         algorithm: Algorithm = ALGORITHM,
+         figure_name: str = "Fig. 12 — FM-index based DNA seeding") -> SeedingFigureResult:
+    """Run the experiment and print the paper-style rows."""
+    result = run(scale, algorithm)
+    print(f"\n{figure_name}")
+    for system in ("beacon-d", "beacon-s"):
+        for sweep in result.sweeps[system]:
+            print_sweep(sweep)
+        print(f"\n== {system} averages over datasets ==")
+        for label in result.step_labels(system)[1:]:
+            print(f"  step {label:26s} x{result.mean_step_speedup(system, label):.2f}")
+        print(f"  full vs MEDAL: x{result.mean_speedup_vs_baseline(system):.2f} perf, "
+              f"x{result.mean_energy_vs_baseline(system):.2f} energy")
+        print(f"  full vs CPU:   x{result.mean_speedup_vs_cpu(system):.1f}")
+        print(f"  % of idealized communication: "
+              f"{result.mean_percent_of_ideal(system):.1%}")
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Fig. 13 — per-chip memory access balance with/without multi-chip coalescing.
+
+The paper plots normalized memory access per DRAM chip during FM-index
+seeding: without coalescing the per-chip load is badly skewed (hot occ
+blocks pin single chips), with coalescing it is near-uniform.  We run
+BEACON-D with the full stack minus/plus coalescing and read the CXLG-DIMMs'
+chip counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List
+
+from repro.core import BeaconD
+from repro.core.config import Algorithm, OptimizationFlags
+from repro.experiments.runner import ExperimentScale
+
+
+@dataclass
+class Fig13Result:
+    """Normalized per-chip access series (mean over CXLG-DIMMs)."""
+
+    without_coalescing: List[float]
+    with_coalescing: List[float]
+    imbalance_without: float
+    imbalance_with: float
+
+
+def _cxlg_chip_profile(system: BeaconD) -> tuple:
+    """Average normalized per-chip bursts + imbalance over CXLG-DIMMs."""
+    series: List[List[float]] = []
+    imbalances: List[float] = []
+    for dimm in system.pool.dimms:
+        if dimm.kind.fine_grained and dimm.chip_counters.bursts.sum() > 0:
+            series.append(dimm.chip_counters.normalized())
+            imbalances.append(dimm.chip_counters.imbalance())
+    chips = len(series[0])
+    averaged = [
+        sum(s[c] for s in series) / len(series) for c in range(chips)
+    ]
+    mean_imbalance = sum(imbalances) / len(imbalances)
+    return averaged, mean_imbalance
+
+
+def run(scale: ExperimentScale = ExperimentScale.bench()) -> Fig13Result:
+    """Execute the experiment at ``scale``; returns the result object."""
+    config = scale.config()
+    workload = scale.seeding_workload(scale.seeding_datasets()[0])
+    base = OptimizationFlags.all_for("beacon-d", Algorithm.FM_SEEDING)
+
+    without = BeaconD(config=config,
+                      flags=replace(base, multi_chip_coalescing=False),
+                      label="no-coalescing")
+    without.run_fm_seeding(workload)
+    series_without, imbalance_without = _cxlg_chip_profile(without)
+
+    with_ = BeaconD(config=config, flags=base, label="coalescing")
+    with_.run_fm_seeding(workload)
+    series_with, imbalance_with = _cxlg_chip_profile(with_)
+
+    return Fig13Result(
+        without_coalescing=series_without,
+        with_coalescing=series_with,
+        imbalance_without=imbalance_without,
+        imbalance_with=imbalance_with,
+    )
+
+
+def main(scale: ExperimentScale = ExperimentScale.bench()) -> Fig13Result:
+    """Run the experiment and print the paper-style rows."""
+    result = run(scale)
+    print("\nFig. 13 — normalized memory access per DRAM chip (CXLG-DIMMs)")
+    print("chip:            " + "".join(f"{c:7d}" for c in range(len(result.without_coalescing))))
+    print("w/o coalescing:  " + "".join(f"{v:7.2f}" for v in result.without_coalescing))
+    print("w/  coalescing:  " + "".join(f"{v:7.2f}" for v in result.with_coalescing))
+    print(f"imbalance (coeff. of variation): "
+          f"{result.imbalance_without:.3f} -> {result.imbalance_with:.3f}")
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""Fig. 14 — Hash-index based DNA seeding, step-by-step optimizations.
+
+Paper (averages over the five genomes):
+
+* BEACON-D: vanilla = 309.13x CPU / 2.54x MEDAL; memory access opt 1.81x
+  (packing and placement contribute little for this algorithm); full =
+  572.17x CPU / 4.70x MEDAL; 98.59% of idealized.
+* BEACON-S: vanilla = 302.48x CPU / 2.48x MEDAL; memory access opt 1.50x,
+  placement 1.21x; full = 556.66x CPU / 4.57x MEDAL; 98.64% of idealized.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import Algorithm
+from repro.experiments.fig12_fm_seeding import SeedingFigureResult, run as _run
+from repro.experiments.fig12_fm_seeding import main as _main
+from repro.experiments.runner import ExperimentScale
+
+ALGORITHM = Algorithm.HASH_SEEDING
+
+
+def run(scale: ExperimentScale = ExperimentScale.bench()) -> SeedingFigureResult:
+    """Execute the experiment at ``scale``; returns the result object."""
+    return _run(scale, ALGORITHM)
+
+
+def main(scale: ExperimentScale = ExperimentScale.bench()) -> SeedingFigureResult:
+    """Run the experiment and print the paper-style rows."""
+    return _main(scale, ALGORITHM,
+                 figure_name="Fig. 14 — Hash-index based DNA seeding")
+
+
+if __name__ == "__main__":
+    main()

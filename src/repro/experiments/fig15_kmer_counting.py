@@ -1,0 +1,63 @@
+"""Fig. 15 — k-mer counting, step-by-step optimizations.
+
+Paper (human 50x):
+
+* BEACON-D: vanilla = 124.88x CPU / 1.46x NEST; packing 1.07x, memory
+  access opt 2.75x, placement 1.21x; full = 443.08x CPU / 5.19x NEST;
+  92.98% of idealized.
+* BEACON-S: vanilla = 125.57x CPU / 1.47x NEST; packing 1.09x, memory
+  access opt 2.83x, placement 0.92x perf (but +1.12x energy efficiency),
+  single-pass counting 1.48x; full = 527.99x CPU / 6.19x NEST; 99.48% of
+  idealized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.config import Algorithm
+from repro.experiments.runner import (
+    ExperimentScale,
+    SweepResult,
+    print_sweep,
+    run_step_sweep,
+)
+
+ALGORITHM = Algorithm.KMER_COUNTING
+
+
+@dataclass
+class Fig15Result:
+    sweeps: Dict[str, SweepResult]  # system -> sweep (single dataset)
+
+    def sweep(self, system: str) -> SweepResult:
+        return self.sweeps[system]
+
+
+def run(scale: ExperimentScale = ExperimentScale.bench()) -> Fig15Result:
+    """Execute the experiment at ``scale``; returns the result object."""
+    workload = scale.kmer_workload()
+    sweeps: Dict[str, SweepResult] = {}
+    for system in ("beacon-d", "beacon-s"):
+        sweeps[system] = run_step_sweep(
+            system, ALGORITHM, workload, scale,
+            with_ideal=True, baseline="nest", with_cpu=True,
+            k=scale.kmer_k, num_counters=scale.num_counters,
+        )
+    return Fig15Result(sweeps)
+
+
+def main(scale: ExperimentScale = ExperimentScale.bench()) -> Fig15Result:
+    """Run the experiment and print the paper-style rows."""
+    result = run(scale)
+    print("\nFig. 15 — k-mer counting (human 50x stand-in)")
+    for system, sweep in result.sweeps.items():
+        print_sweep(sweep)
+        print(f"  total optimization gain: x{sweep.total_opt_speedup:.2f} perf, "
+              f"x{sweep.total_opt_energy_gain:.2f} energy")
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Fig. 16 — DNA pre-alignment.
+
+Paper: BEACON-D / BEACON-S improve performance over the 48-thread CPU
+baseline (Shouji) by 362.04x / 359.36x, and reduce energy by 387.05x /
+382.80x.  There is no prior DIMM-NDP baseline for pre-alignment, so the
+figure is CPU-relative only; we additionally verify the filter's quality
+(true sites always accepted, most decoys rejected).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.baselines import CpuModel
+from repro.core.config import Algorithm, OptimizationFlags
+from repro.core.metrics import Report, geometric_mean
+from repro.experiments.runner import ExperimentScale, build_system
+
+
+@dataclass
+class PrealignOutcome:
+    system: str
+    dataset: str
+    report: Report
+    cpu: Report
+    accepted: int
+    rejected: int
+    true_sites: int
+
+    @property
+    def speedup_vs_cpu(self) -> float:
+        return self.report.speedup_vs(self.cpu)
+
+    @property
+    def energy_vs_cpu(self) -> float:
+        return self.report.energy_reduction_vs(self.cpu)
+
+
+@dataclass
+class Fig16Result:
+    outcomes: List[PrealignOutcome]
+
+    def mean_speedup(self, system: str) -> float:
+        return geometric_mean(
+            o.speedup_vs_cpu for o in self.outcomes if o.system == system
+        )
+
+    def mean_energy_gain(self, system: str) -> float:
+        return geometric_mean(
+            o.energy_vs_cpu for o in self.outcomes if o.system == system
+        )
+
+
+def run(scale: ExperimentScale = ExperimentScale.bench()) -> Fig16Result:
+    """Execute the experiment at ``scale``; returns the result object."""
+    config = scale.config()
+    cpu = CpuModel()
+    outcomes: List[PrealignOutcome] = []
+    for spec in scale.seeding_datasets():
+        workload = scale.prealign_workload(spec)
+        cpu_report = cpu.run_prealignment(workload, max_edits=scale.max_edits)
+        for system in ("beacon-d", "beacon-s"):
+            flags = OptimizationFlags.all_for(system, Algorithm.PREALIGNMENT)
+            sys_ = build_system(system, config, flags)
+            report = sys_.run_prealignment(workload, max_edits=scale.max_edits)
+            results = sys_.prealign_results
+            accepted = sum(1 for r in results if r.accepted)
+            outcomes.append(
+                PrealignOutcome(
+                    system=system, dataset=spec.name, report=report,
+                    cpu=cpu_report, accepted=accepted,
+                    rejected=len(results) - accepted,
+                    true_sites=len(workload.reads),
+                )
+            )
+    return Fig16Result(outcomes)
+
+
+def main(scale: ExperimentScale = ExperimentScale.bench()) -> Fig16Result:
+    """Run the experiment and print the paper-style rows."""
+    result = run(scale)
+    print("\nFig. 16 — DNA pre-alignment (vs 48-thread CPU / Shouji)")
+    for o in result.outcomes:
+        print(f"  {o.system:9s} {o.dataset:4s} x{o.speedup_vs_cpu:8.1f} perf "
+              f"x{o.energy_vs_cpu:8.1f} energy "
+              f"(accepted {o.accepted}, rejected {o.rejected})")
+    for system in ("beacon-d", "beacon-s"):
+        print(f"  {system} mean: x{result.mean_speedup(system):.1f} perf, "
+              f"x{result.mean_energy_gain(system):.1f} energy")
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+"""Fig. 17 — energy breakdown across the optimization stack.
+
+Paper: in CXL-vanilla, communication dominates (BEACON-D 60.68%, BEACON-S
+52.35% of total energy on average); the optimization stack cuts the
+communication share to 14.01% / 13.17%, and computation stays below 1%
+throughout.  This experiment reuses the step sweeps and reports the
+communication / DRAM / compute shares per step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.config import Algorithm
+from repro.core.metrics import geometric_mean
+from repro.experiments.runner import ExperimentScale, run_step_sweep
+
+
+@dataclass
+class EnergyShare:
+    label: str
+    comm: float
+    dram: float
+    compute: float
+
+
+@dataclass
+class Fig17Result:
+    #: system -> per-step energy shares averaged over workloads.
+    shares: Dict[str, List[EnergyShare]]
+    #: system -> mean communication share of each algorithm's *first* step.
+    vanilla_comm: Dict[str, float]
+    #: system -> mean communication share of each algorithm's *last* step.
+    final_comm: Dict[str, float]
+
+    def vanilla_comm_share(self, system: str) -> float:
+        return self.vanilla_comm[system]
+
+    def final_comm_share(self, system: str) -> float:
+        return self.final_comm[system]
+
+    def max_compute_share(self, system: str) -> float:
+        return max(s.compute for s in self.shares[system])
+
+
+def run(scale: ExperimentScale = ExperimentScale.bench()) -> Fig17Result:
+    """Average the per-step breakdown across the three sweep algorithms."""
+    shares: Dict[str, List[EnergyShare]] = {}
+    vanilla_comm: Dict[str, float] = {}
+    final_comm: Dict[str, float] = {}
+    for system in ("beacon-d", "beacon-s"):
+        per_label: Dict[str, List[Tuple[float, float, float]]] = {}
+        order: List[str] = []
+        first_shares: List[float] = []
+        last_shares: List[float] = []
+        workloads = [
+            (Algorithm.FM_SEEDING,
+             scale.seeding_workload(scale.seeding_datasets()[0]), {}),
+            (Algorithm.KMER_COUNTING, scale.kmer_workload(),
+             {"k": scale.kmer_k, "num_counters": scale.num_counters}),
+        ]
+        for algorithm, workload, kwargs in workloads:
+            sweep = run_step_sweep(system, algorithm, workload, scale,
+                                   with_ideal=False, **kwargs)
+            first_shares.append(sweep.vanilla.comm_energy_fraction)
+            last_shares.append(sweep.full.comm_energy_fraction)
+            for step in sweep.steps:
+                report = step.report
+                total = report.total_energy_nj
+                entry = (
+                    report.energy_comm_nj / total,
+                    report.energy_dram_nj / total,
+                    report.energy_compute_nj / total,
+                )
+                key = step.label
+                per_label.setdefault(key, []).append(entry)
+                if key not in order:
+                    order.append(key)
+        vanilla_comm[system] = sum(first_shares) / len(first_shares)
+        final_comm[system] = sum(last_shares) / len(last_shares)
+        shares[system] = [
+            EnergyShare(
+                label=label,
+                comm=sum(e[0] for e in per_label[label]) / len(per_label[label]),
+                dram=sum(e[1] for e in per_label[label]) / len(per_label[label]),
+                compute=sum(e[2] for e in per_label[label]) / len(per_label[label]),
+            )
+            for label in order
+        ]
+    return Fig17Result(shares, vanilla_comm, final_comm)
+
+
+def main(scale: ExperimentScale = ExperimentScale.bench()) -> Fig17Result:
+    """Run the experiment and print the paper-style rows."""
+    result = run(scale)
+    print("\nFig. 17 — energy breakdown (communication / DRAM / compute)")
+    for system, steps in result.shares.items():
+        print(f"  == {system} ==")
+        for s in steps:
+            print(f"    {s.label:26s} comm {s.comm:6.1%}  dram {s.dram:6.1%}  "
+                  f"compute {s.compute:6.2%}")
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""Fig. 3 — what idealized communication buys the prior DDR-DIMM NDP work.
+
+The paper motivates BEACON by giving MEDAL and NEST imaginary idealized
+communication (infinite bandwidth, zero latency): on average performance
+improves 4.36x and energy efficiency 2.32x, showing communication is their
+bottleneck.  This experiment runs the same counterfactual on our MEDAL and
+NEST models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.baselines import Medal, Nest
+from repro.core.config import Algorithm
+from repro.core.metrics import Report, geometric_mean
+from repro.experiments.runner import ExperimentScale
+
+
+@dataclass
+class IdealizedGain:
+    """Real vs idealized-communication outcome for one baseline run."""
+
+    system: str
+    algorithm: str
+    dataset: str
+    real: Report
+    ideal: Report
+
+    @property
+    def speedup(self) -> float:
+        return self.real.runtime_ns / self.ideal.runtime_ns
+
+    @property
+    def energy_gain(self) -> float:
+        return self.real.total_energy_nj / self.ideal.total_energy_nj
+
+
+@dataclass
+class Fig3Result:
+    gains: List[IdealizedGain]
+
+    @property
+    def mean_speedup(self) -> float:
+        return geometric_mean(g.speedup for g in self.gains)
+
+    @property
+    def mean_energy_gain(self) -> float:
+        return geometric_mean(g.energy_gain for g in self.gains)
+
+
+def run(scale: ExperimentScale = ExperimentScale.bench()) -> Fig3Result:
+    """Execute the experiment at ``scale``; returns the result object."""
+    config = scale.config()
+    gains: List[IdealizedGain] = []
+    for spec in scale.seeding_datasets():
+        workload = scale.seeding_workload(spec)
+        for algorithm, runner in (
+            (Algorithm.FM_SEEDING, "run_fm_seeding"),
+            (Algorithm.HASH_SEEDING, "run_hash_seeding"),
+        ):
+            real = getattr(Medal(config=config), runner)(workload)
+            ideal = getattr(Medal(config=config.idealized()), runner)(workload)
+            gains.append(IdealizedGain("medal", algorithm.value, spec.name,
+                                       real, ideal))
+    kmer = scale.kmer_workload()
+    from repro.core.config import Algorithm as _Alg
+    config = scale.config_for(_Alg.KMER_COUNTING)
+    real = Nest(config=config).run_kmer_counting(
+        kmer, k=scale.kmer_k, num_counters=scale.num_counters
+    )
+    ideal = Nest(config=config.idealized()).run_kmer_counting(
+        kmer, k=scale.kmer_k, num_counters=scale.num_counters
+    )
+    gains.append(IdealizedGain("nest", Algorithm.KMER_COUNTING.value,
+                               kmer.name, real, ideal))
+    return Fig3Result(gains)
+
+
+def main(scale: ExperimentScale = ExperimentScale.bench()) -> Fig3Result:
+    """Run the experiment and print the paper-style rows."""
+    result = run(scale)
+    print("\nFig. 3 — prior DDR-DIMM accelerators with idealized communication")
+    print(f"{'system':8s} {'algorithm':16s} {'dataset':8s} "
+          f"{'perf gain':>10s} {'energy gain':>12s}")
+    for g in result.gains:
+        print(f"{g.system:8s} {g.algorithm:16s} {g.dataset:8s} "
+              f"{g.speedup:9.2f}x {g.energy_gain:11.2f}x")
+    print(f"geomean: perf {result.mean_speedup:.2f}x "
+          f"(paper: 4.36x), energy {result.mean_energy_gain:.2f}x (paper: 2.32x)")
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,227 @@
+"""Shared experiment machinery: scales, system factory, step sweeps."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines import CpuModel, Medal, Nest
+from repro.core import BeaconD, BeaconS
+from repro.core.config import Algorithm, BeaconConfig, OptimizationFlags
+from repro.core.metrics import Report
+from repro.genomics.workloads import (
+    KMER_DATASET,
+    SEEDING_DATASETS,
+    DatasetSpec,
+    SeedingWorkload,
+    make_kmer_workload,
+    make_seeding_workload,
+)
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """How far the experiments are scaled down from the paper.
+
+    The paper simulates tens-of-gigabase genomes against 256-512 PEs; a
+    Python event simulator scales both down together, keeping the systems
+    in the same throughput-bound operating regime (see
+    :meth:`repro.core.config.BeaconConfig.scaled`).
+    """
+
+    genome_scale: float = 0.35
+    read_scale: float = 4.0
+    kmer_genome_scale: float = 0.25
+    kmer_read_scale: float = 1.2
+    prealign_genome_scale: float = 0.2
+    prealign_read_scale: float = 3.0
+    pe_divisor: int = 4
+    #: k-mer counting runs with a deeper PE cut so tasks-per-PE stays >> 1
+    #: (its read count is much smaller than the seeding studies').
+    kmer_pe_divisor: int = 8
+    num_counters: int = 1 << 16
+    kmer_k: int = 15
+    max_edits: int = 3
+    #: How many of the five seeding datasets to run (5 = the full figure).
+    num_datasets: int = 5
+    #: Whether benches apply the full paper-shape thresholds.  The quick
+    #: scale is a smoke mode: workloads are too small to be in the paper's
+    #: throughput-bound regime, so only sanity thresholds apply.
+    strict: bool = True
+
+    @classmethod
+    def quick(cls) -> "ExperimentScale":
+        """Small enough for unit tests (seconds, not minutes)."""
+        return cls(
+            genome_scale=0.08, read_scale=2.0,
+            kmer_genome_scale=0.08, kmer_read_scale=0.3,
+            prealign_genome_scale=0.08, prealign_read_scale=1.0,
+            pe_divisor=8, kmer_pe_divisor=16, num_counters=1 << 14,
+            num_datasets=2, strict=False,
+        )
+
+    @classmethod
+    def bench(cls) -> "ExperimentScale":
+        """The benchmark suite's default (minutes for the whole suite)."""
+        return cls()
+
+    def config(self) -> BeaconConfig:
+        return BeaconConfig().scaled(self.pe_divisor)
+
+    def config_for(self, algorithm: Algorithm) -> BeaconConfig:
+        if algorithm is Algorithm.KMER_COUNTING:
+            return BeaconConfig().scaled(self.kmer_pe_divisor)
+        return self.config()
+
+    def seeding_datasets(self) -> Sequence[DatasetSpec]:
+        return SEEDING_DATASETS[: self.num_datasets]
+
+    def seeding_workload(self, spec: DatasetSpec) -> SeedingWorkload:
+        return make_seeding_workload(
+            spec, scale=self.genome_scale, read_scale=self.read_scale
+        )
+
+    def kmer_workload(self) -> SeedingWorkload:
+        return make_kmer_workload(
+            scale=self.kmer_genome_scale, read_scale=self.kmer_read_scale
+        )
+
+    def prealign_workload(self, spec: DatasetSpec) -> SeedingWorkload:
+        return make_seeding_workload(
+            spec, scale=self.prealign_genome_scale,
+            read_scale=self.prealign_read_scale,
+        )
+
+
+#: System name -> constructor taking (config, flags, label).
+SYSTEMS: Dict[str, Callable] = {
+    "beacon-d": BeaconD,
+    "beacon-s": BeaconS,
+}
+
+
+def build_system(name: str, config: BeaconConfig,
+                 flags: OptimizationFlags, label: str = ""):
+    """Instantiate a (single-shot) system by name."""
+    if name == "medal":
+        return Medal(config=config, label=label or "medal")
+    if name == "nest":
+        return Nest(config=config, label=label or "nest")
+    try:
+        cls = SYSTEMS[name]
+    except KeyError:
+        raise ValueError(f"unknown system {name!r}") from None
+    return cls(config=config, flags=flags, label=label or name)
+
+
+@dataclass
+class StepResult:
+    """One point of a cumulative optimization sweep."""
+
+    label: str
+    flags: OptimizationFlags
+    report: Report
+    #: Speedup over the previous step (1.0 for the first).
+    step_speedup: float = 1.0
+
+
+@dataclass
+class SweepResult:
+    """A full step-by-step sweep plus its idealized twin."""
+
+    system: str
+    algorithm: Algorithm
+    dataset: str
+    steps: List[StepResult]
+    ideal: Optional[Report] = None
+    baseline: Optional[Report] = None       # MEDAL or NEST
+    cpu: Optional[Report] = None
+
+    @property
+    def vanilla(self) -> Report:
+        return self.steps[0].report
+
+    @property
+    def full(self) -> Report:
+        return self.steps[-1].report
+
+    @property
+    def total_opt_speedup(self) -> float:
+        return self.full.speedup_vs(self.vanilla)
+
+    @property
+    def total_opt_energy_gain(self) -> float:
+        return self.full.energy_reduction_vs(self.vanilla)
+
+    @property
+    def percent_of_ideal(self) -> float:
+        if self.ideal is None:
+            raise ValueError("sweep has no idealized twin")
+        return self.full.percent_of_ideal(self.ideal)
+
+    def speedup_vs_baseline(self) -> float:
+        if self.baseline is None:
+            raise ValueError("sweep has no hardware baseline")
+        return self.full.speedup_vs(self.baseline)
+
+    def speedup_vs_cpu(self) -> float:
+        if self.cpu is None:
+            raise ValueError("sweep has no CPU baseline")
+        return self.full.speedup_vs(self.cpu)
+
+
+def run_step_sweep(
+    system: str,
+    algorithm: Algorithm,
+    workload: SeedingWorkload,
+    scale: ExperimentScale,
+    with_ideal: bool = True,
+    baseline: Optional[str] = None,
+    with_cpu: bool = False,
+    **run_kwargs,
+) -> SweepResult:
+    """Run the paper's cumulative optimization sweep for one dataset."""
+    config = scale.config_for(algorithm)
+    steps: List[StepResult] = []
+    for label, flags in OptimizationFlags.cumulative_steps(system, algorithm):
+        sys_ = build_system(system, config, flags, label=f"{system} {label}")
+        report = sys_.run_algorithm(algorithm, workload, **run_kwargs)
+        step = StepResult(label=label, flags=flags, report=report)
+        if steps:
+            step.step_speedup = report.speedup_vs(steps[-1].report)
+        steps.append(step)
+    result = SweepResult(system=system, algorithm=algorithm,
+                         dataset=workload.name, steps=steps)
+    if with_ideal:
+        full_flags = steps[-1].flags
+        twin = build_system(system, config.idealized(), full_flags,
+                            label=f"{system} ideal")
+        result.ideal = twin.run_algorithm(algorithm, workload, **run_kwargs)
+    if baseline is not None:
+        base = build_system(baseline, config, OptimizationFlags.vanilla())
+        result.baseline = base.run_algorithm(algorithm, workload, **run_kwargs)
+    if with_cpu:
+        result.cpu = CpuModel().run_algorithm(algorithm, workload)
+    return result
+
+
+def print_sweep(result: SweepResult) -> None:
+    """Paper-style step table for one sweep."""
+    print(f"\n[{result.system} / {result.algorithm.value} / {result.dataset}]")
+    for step in result.steps:
+        report = step.report
+        print(
+            f"  {step.label:26s} {report.runtime_us:10.1f} us"
+            f"  step x{step.step_speedup:5.2f}"
+            f"  comm {report.comm_energy_fraction:6.1%}"
+            f"  energy {report.total_energy_nj / 1e3:9.1f} uJ"
+        )
+    if result.ideal is not None:
+        print(f"  {'(idealized comm)':26s} {result.ideal.runtime_us:10.1f} us"
+              f"  -> full = {result.percent_of_ideal:.1%} of ideal")
+    if result.baseline is not None:
+        print(f"  vs {result.baseline.system}: x{result.speedup_vs_baseline():.2f} perf, "
+              f"x{result.full.energy_reduction_vs(result.baseline):.2f} energy")
+    if result.cpu is not None:
+        print(f"  vs cpu48: x{result.speedup_vs_cpu():.1f} perf, "
+              f"x{result.full.energy_reduction_vs(result.cpu):.1f} energy")

@@ -1,0 +1,112 @@
+"""Scalability study (extension).
+
+"Scalable" is in the paper's title: BEACON's pitch is that capacity and
+throughput grow by attaching more unmodified CXL-DIMMs and switches to the
+pool.  The paper asserts this qualitatively; this extension experiment
+measures it.  Two sweeps on FM-index seeding:
+
+* **strong scaling** — fixed workload, growing pool (1..4 switches);
+* **weak scaling** — workload grows with the pool; ideal is flat runtime.
+
+Both run the full-optimization BEACON-D and BEACON-S configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Tuple
+
+from repro.core.config import Algorithm, BeaconConfig, OptimizationFlags
+from repro.core.metrics import Report
+from repro.experiments.runner import ExperimentScale, build_system
+from repro.genomics.workloads import make_seeding_workload
+
+
+@dataclass
+class ScalingPoint:
+    switches: int
+    dimms: int
+    pes: int
+    reads: int
+    report: Report
+
+
+@dataclass
+class ScalabilityResult:
+    strong: Dict[str, List[ScalingPoint]]
+    weak: Dict[str, List[ScalingPoint]]
+
+    def strong_speedup(self, system: str) -> float:
+        """Largest-pool speedup over the smallest pool, fixed work."""
+        points = self.strong[system]
+        return points[0].report.runtime_ns / points[-1].report.runtime_ns
+
+    def weak_efficiency(self, system: str) -> float:
+        """Smallest/largest runtime ratio under proportional work
+        (1.0 = perfect weak scaling)."""
+        points = self.weak[system]
+        return points[0].report.runtime_ns / points[-1].report.runtime_ns
+
+
+#: Pool sizes swept: (num_switches, dimms_per_switch).
+POOL_SIZES: Tuple[Tuple[int, int], ...] = ((1, 4), (2, 4), (4, 4))
+
+
+def _config_for(scale: ExperimentScale, switches: int, dimms: int) -> BeaconConfig:
+    return replace(scale.config(), num_switches=switches,
+                   dimms_per_switch=dimms)
+
+
+def _run_point(system: str, scale: ExperimentScale, switches: int,
+               dimms: int, read_scale: float) -> ScalingPoint:
+    config = _config_for(scale, switches, dimms)
+    flags = OptimizationFlags.all_for(system, Algorithm.FM_SEEDING)
+    spec = scale.seeding_datasets()[0]
+    workload = make_seeding_workload(spec, scale=scale.genome_scale,
+                                     read_scale=read_scale)
+    sys_ = build_system(system, config, flags,
+                        label=f"{system} {switches}x{dimms}")
+    report = sys_.run_fm_seeding(workload)
+    pes = sum(m.pes.num_pes for m in sys_.ndp_modules)
+    return ScalingPoint(switches=switches, dimms=switches * dimms, pes=pes,
+                        reads=len(workload.reads), report=report)
+
+
+def run(scale: ExperimentScale = ExperimentScale.bench()) -> ScalabilityResult:
+    """Execute the experiment at ``scale``; returns the result object."""
+    strong: Dict[str, List[ScalingPoint]] = {}
+    weak: Dict[str, List[ScalingPoint]] = {}
+    base_reads = scale.read_scale
+    for system in ("beacon-d", "beacon-s"):
+        strong[system] = [
+            _run_point(system, scale, sw, d, base_reads)
+            for sw, d in POOL_SIZES
+        ]
+        weak[system] = [
+            _run_point(system, scale, sw, d, base_reads * sw / POOL_SIZES[0][0])
+            for sw, d in POOL_SIZES
+        ]
+    return ScalabilityResult(strong=strong, weak=weak)
+
+
+def main(scale: ExperimentScale = ExperimentScale.bench()) -> ScalabilityResult:
+    """Run the experiment and print the paper-style rows."""
+    result = run(scale)
+    print("\nScalability (extension study): FM seeding, full optimizations")
+    for mode, series in (("strong", result.strong), ("weak", result.weak)):
+        print(f"  == {mode} scaling ==")
+        for system, points in series.items():
+            row = "  ".join(
+                f"{p.switches}sw/{p.dimms}d/{p.pes}pe:"
+                f"{p.report.runtime_us:7.1f}us" for p in points
+            )
+            print(f"    {system:9s} {row}")
+    for system in ("beacon-d", "beacon-s"):
+        print(f"  {system}: strong-scaling speedup (1->4 switches) "
+              f"x{result.strong_speedup(system):.2f}; weak-scaling efficiency "
+              f"{result.weak_efficiency(system):.2f}")
+    return result
+
+
+if __name__ == "__main__":
+    main()

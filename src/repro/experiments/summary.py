@@ -1,0 +1,68 @@
+"""Section VI-G — aggregate improvements from the optimizations.
+
+Paper: over all applications, the optimization stack gives BEACON-D 2.21x
+performance and 3.70x energy efficiency (communication energy share
+60.68% -> 14.01%), and BEACON-S 1.99x / 2.04x (52.35% -> 13.17%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.config import Algorithm
+from repro.core.metrics import geometric_mean
+from repro.experiments.runner import ExperimentScale, SweepResult, run_step_sweep
+
+
+@dataclass
+class SummaryResult:
+    sweeps: Dict[str, List[SweepResult]]
+
+    def mean_opt_speedup(self, system: str) -> float:
+        return geometric_mean(s.total_opt_speedup for s in self.sweeps[system])
+
+    def mean_opt_energy_gain(self, system: str) -> float:
+        return geometric_mean(s.total_opt_energy_gain for s in self.sweeps[system])
+
+    def mean_vanilla_comm_share(self, system: str) -> float:
+        shares = [s.vanilla.comm_energy_fraction for s in self.sweeps[system]]
+        return sum(shares) / len(shares)
+
+    def mean_final_comm_share(self, system: str) -> float:
+        shares = [s.full.comm_energy_fraction for s in self.sweeps[system]]
+        return sum(shares) / len(shares)
+
+
+def run(scale: ExperimentScale = ExperimentScale.bench()) -> SummaryResult:
+    """Execute the experiment at ``scale``; returns the result object."""
+    seeding = scale.seeding_workload(scale.seeding_datasets()[0])
+    kmer = scale.kmer_workload()
+    sweeps: Dict[str, List[SweepResult]] = {}
+    for system in ("beacon-d", "beacon-s"):
+        sweeps[system] = [
+            run_step_sweep(system, Algorithm.FM_SEEDING, seeding, scale,
+                           with_ideal=False),
+            run_step_sweep(system, Algorithm.HASH_SEEDING, seeding, scale,
+                           with_ideal=False),
+            run_step_sweep(system, Algorithm.KMER_COUNTING, kmer, scale,
+                           with_ideal=False, k=scale.kmer_k,
+                           num_counters=scale.num_counters),
+        ]
+    return SummaryResult(sweeps)
+
+
+def main(scale: ExperimentScale = ExperimentScale.bench()) -> SummaryResult:
+    """Run the experiment and print the paper-style rows."""
+    result = run(scale)
+    print("\nSection VI-G — aggregate optimization gains")
+    for system in ("beacon-d", "beacon-s"):
+        print(f"  {system}: x{result.mean_opt_speedup(system):.2f} perf, "
+              f"x{result.mean_opt_energy_gain(system):.2f} energy; comm share "
+              f"{result.mean_vanilla_comm_share(system):.1%} -> "
+              f"{result.mean_final_comm_share(system):.1%}")
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Tables I and II — configuration echo and PE hardware overhead.
+
+Table I is the experimental configuration; regenerating it means printing
+the configuration objects the simulator actually uses.  Table II is the
+28 nm synthesis result for the PEs, embedded as constants in
+:mod:`repro.core.hwmodel` (see DESIGN.md's substitution table); the bench
+checks the relations the paper draws from it (BEACON's PE sits between
+MEDAL's and NEST's in area, with the lowest leakage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.config import BeaconConfig
+from repro.core.hwmodel import PE_HARDWARE, PeHardware, beacon_overhead_vs
+
+
+@dataclass
+class Table1Result:
+    config: BeaconConfig
+    rows: List[str]
+
+
+def run_table1(config: BeaconConfig = BeaconConfig()) -> Table1Result:
+    """Assemble the Table I configuration echo."""
+    geo = config.geometry
+    timing = config.timing
+    rows = [
+        f"CPU baseline: Intel Xeon E5-2680 v3, 48 threads (analytic model)",
+        f"MEDAL/NEST: {config.total_dimms} customized DDR-DIMMs on "
+        f"{config.num_switches} channels, "
+        f"{config.baseline_pes_per_dimm} PEs/DIMM",
+        f"BEACON: {config.num_switches} CXL switches x "
+        f"{config.dimms_per_switch} DIMMs "
+        f"({config.cxlg_per_switch} CXLG per switch for BEACON-D)",
+        f"PEs: {config.pes_per_cxlg}/CXLG-DIMM (D), "
+        f"{config.pes_per_switch}/switch (S)",
+        f"DIMM: {geo.capacity_bytes >> 30} GiB, 8Gb x4 devices, "
+        f"{geo.ranks} ranks x {geo.chips_per_rank} chips, "
+        f"{geo.bank_groups} bank groups x {geo.banks_per_group} banks",
+        f"DDR4-1600 {timing.tcas}-{timing.trcd}-{timing.trp}, "
+        f"tCK={timing.tck_ns} ns",
+    ]
+    return Table1Result(config=config, rows=rows)
+
+
+@dataclass
+class Table2Result:
+    hardware: Dict[str, PeHardware]
+    beacon_vs_medal: Dict[str, float]
+    beacon_vs_nest: Dict[str, float]
+
+
+def run_table2() -> Table2Result:
+    """Assemble Table II and its derived ratios."""
+    return Table2Result(
+        hardware=dict(PE_HARDWARE),
+        beacon_vs_medal=beacon_overhead_vs("MEDAL"),
+        beacon_vs_nest=beacon_overhead_vs("NEST"),
+    )
+
+
+def main() -> None:
+    """Run the experiment and print the paper-style rows."""
+    t1 = run_table1()
+    print("\nTable I — experimental configuration")
+    for row in t1.rows:
+        print(f"  {row}")
+    t2 = run_table2()
+    print("\nTable II — PE hardware overhead (28 nm)")
+    print(f"  {'arch':8s} {'area (um^2)':>12s} {'dyn (mW)':>10s} {'leak (uW)':>10s}")
+    for name, hw in t2.hardware.items():
+        print(f"  {name:8s} {hw.area_um2:12.2f} {hw.dynamic_power_mw:10.2f} "
+              f"{hw.leakage_power_uw:10.2f}")
+    print(f"  BEACON/MEDAL area ratio: {t2.beacon_vs_medal['area_ratio']:.2f}")
+    print(f"  BEACON/NEST  area ratio: {t2.beacon_vs_nest['area_ratio']:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,127 @@
+"""Minimal FASTA / FASTQ readers and writers used by the examples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Sequence, Tuple, Union
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class FastaRecord:
+    """One FASTA entry."""
+
+    name: str
+    sequence: str
+
+
+@dataclass(frozen=True)
+class FastqRecord:
+    """One FASTQ entry."""
+
+    name: str
+    sequence: str
+    quality: str
+
+
+def read_fasta(path: PathLike) -> List[FastaRecord]:
+    """Parse a FASTA file (multi-line sequences supported)."""
+    records: List[FastaRecord] = []
+    name = None
+    chunks: List[str] = []
+    with open(path, "r", encoding="ascii") as handle:
+        for raw in handle:
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith(">"):
+                if name is not None:
+                    records.append(FastaRecord(name, "".join(chunks)))
+                name = line[1:].split()[0] if len(line) > 1 else ""
+                chunks = []
+            else:
+                if name is None:
+                    raise ValueError(f"{path}: sequence data before first header")
+                chunks.append(line.upper())
+    if name is not None:
+        records.append(FastaRecord(name, "".join(chunks)))
+    return records
+
+
+def write_fasta(path: PathLike, records: Sequence[FastaRecord], width: int = 70) -> None:
+    """Write FASTA with ``width``-column wrapping."""
+    if width <= 0:
+        raise ValueError("width must be positive")
+    with open(path, "w", encoding="ascii") as handle:
+        for record in records:
+            handle.write(f">{record.name}\n")
+            seq = record.sequence
+            for start in range(0, len(seq), width):
+                handle.write(seq[start : start + width] + "\n")
+
+
+def read_fastq(path: PathLike) -> List[FastqRecord]:
+    """Parse a FASTQ file (4-line records)."""
+    records: List[FastqRecord] = []
+    with open(path, "r", encoding="ascii") as handle:
+        lines = [line.rstrip("\n") for line in handle]
+    stripped = [line for line in lines if line]
+    if len(stripped) % 4 != 0:
+        raise ValueError(f"{path}: truncated FASTQ (line count not a multiple of 4)")
+    for i in range(0, len(stripped), 4):
+        header, sequence, plus, quality = stripped[i : i + 4]
+        if not header.startswith("@"):
+            raise ValueError(f"{path}: record {i // 4} missing '@' header")
+        if not plus.startswith("+"):
+            raise ValueError(f"{path}: record {i // 4} missing '+' separator")
+        if len(sequence) != len(quality):
+            raise ValueError(f"{path}: record {i // 4} sequence/quality length mismatch")
+        records.append(FastqRecord(header[1:].split()[0], sequence.upper(), quality))
+    return records
+
+
+def write_fastq(path: PathLike, records: Sequence[FastqRecord]) -> None:
+    """Write FASTQ, one 4-line record per entry."""
+    with open(path, "w", encoding="ascii") as handle:
+        for record in records:
+            if len(record.sequence) != len(record.quality):
+                raise ValueError(f"record {record.name}: sequence/quality length mismatch")
+            handle.write(f"@{record.name}\n{record.sequence}\n+\n{record.quality}\n")
+
+
+def reads_from_file(path: PathLike) -> Tuple[List[str], str]:
+    """Load plain sequences from FASTA or FASTQ, sniffing the format.
+
+    Returns ``(sequences, format)`` where format is ``"fasta"`` or ``"fastq"``.
+    """
+    with open(path, "r", encoding="ascii") as handle:
+        first = handle.readline()
+    if first.startswith(">"):
+        return [r.sequence for r in read_fasta(path)], "fasta"
+    if first.startswith("@"):
+        return [r.sequence for r in read_fastq(path)], "fastq"
+    raise ValueError(f"{path}: not FASTA or FASTQ")
+
+
+def iter_fasta(path: PathLike) -> Iterator[FastaRecord]:
+    """Streaming variant of :func:`read_fasta` (memory-light for big files)."""
+    name = None
+    chunks: List[str] = []
+    with open(path, "r", encoding="ascii") as handle:
+        for raw in handle:
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith(">"):
+                if name is not None:
+                    yield FastaRecord(name, "".join(chunks))
+                name = line[1:].split()[0] if len(line) > 1 else ""
+                chunks = []
+            else:
+                if name is None:
+                    raise ValueError(f"{path}: sequence data before first header")
+                chunks.append(line.upper())
+    if name is not None:
+        yield FastaRecord(name, "".join(chunks))

@@ -1,0 +1,80 @@
+"""k-mer extraction, canonicalization, and hashing."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.genomics.sequence import reverse_complement
+
+#: Multiplier of the splitmix64-style integer mixer used for k-mer hashing.
+_MIX_MULT_1 = 0xBF58476D1CE4E5B9
+_MIX_MULT_2 = 0x94D049BB133111EB
+_MASK64 = (1 << 64) - 1
+
+
+def kmer_to_int(kmer: str) -> int:
+    """Pack a k-mer into an integer, 2 bits per base (A=0..T=3)."""
+    value = 0
+    for base in kmer:
+        try:
+            code = "ACGT".index(base.upper())
+        except ValueError:
+            raise ValueError(f"non-ACGT character {base!r} in k-mer") from None
+        value = (value << 2) | code
+    return value
+
+
+def int_to_kmer(value: int, k: int) -> str:
+    """Inverse of :func:`kmer_to_int`."""
+    if value < 0 or value >= (1 << (2 * k)):
+        raise ValueError(f"value {value} out of range for k={k}")
+    out = []
+    for shift in range(2 * (k - 1), -1, -2):
+        out.append("ACGT"[(value >> shift) & 3])
+    return "".join(out)
+
+
+def canonical_kmer(kmer: str) -> str:
+    """Return the lexicographically smaller of a k-mer and its revcomp.
+
+    Canonicalization makes counting strand-independent, matching BFCounter
+    and NEST semantics.
+    """
+    rc = reverse_complement(kmer)
+    return kmer if kmer <= rc else rc
+
+
+def iter_kmers(sequence: str, k: int, canonical: bool = True) -> Iterator[str]:
+    """Yield every (optionally canonical) k-mer of ``sequence`` in order."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    for i in range(len(sequence) - k + 1):
+        kmer = sequence[i : i + k]
+        yield canonical_kmer(kmer) if canonical else kmer
+
+
+def mix64(value: int) -> int:
+    """splitmix64 finalizer: a cheap, well-distributed 64-bit mixer.
+
+    This is the hash the simulated hash-calculation units in the PEs
+    implement; using the same function in the functional and trace forms
+    keeps both code paths byte-identical in their addressing.
+    """
+    value &= _MASK64
+    value = ((value ^ (value >> 30)) * _MIX_MULT_1) & _MASK64
+    value = ((value ^ (value >> 27)) * _MIX_MULT_2) & _MASK64
+    return (value ^ (value >> 31)) & _MASK64
+
+
+def kmer_hashes(kmer: str, count: int) -> list:
+    """Derive ``count`` independent hash values for a k-mer.
+
+    Uses double hashing (h1 + i*h2) over the splitmix64 mixer, the standard
+    technique for Bloom-filter index derivation.
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    base = kmer_to_int(canonical_kmer(kmer))
+    h1 = mix64(base)
+    h2 = mix64(base ^ 0x9E3779B97F4A7C15) | 1  # odd => full-period stride
+    return [(h1 + i * h2) & _MASK64 for i in range(count)]

@@ -1,0 +1,126 @@
+"""k-mer counting flows: exact reference, NEST multi-pass, BEACON single-pass.
+
+Three implementations over the same counting-Bloom-filter substrate:
+
+* :func:`exact_counts` — hash-map ground truth used by the tests.
+* :class:`MultiPassKmerCounter` — NEST's flow (Section IV-D): every DIMM
+  first builds a *local* counting Bloom filter over the whole input (pass 1),
+  the locals are merged into a global filter that is replicated to every
+  DIMM, then every DIMM re-processes the whole input against its own copy
+  (pass 2).  Random accesses stay DIMM-local at the cost of reading the
+  input twice.
+* :class:`SinglePassKmerCounter` — BEACON-S's flow: one pass updating a
+  single global filter distributed across the pool's CXL-DIMMs with atomic
+  increments; no local/merge/replicate phases.
+
+Both simulator-facing classes expose the per-k-mer counter slots touched so
+the KMC engines can turn them into physical memory requests.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.genomics.bloom import CountingBloomFilter
+from repro.genomics.kmer import iter_kmers
+
+
+def exact_counts(reads: Iterable[str], k: int) -> Dict[str, int]:
+    """Exact canonical k-mer abundances (ground truth for the tests)."""
+    counts: Counter = Counter()
+    for read in reads:
+        for kmer in iter_kmers(read, k):
+            counts[kmer] += 1
+    return dict(counts)
+
+
+class SinglePassKmerCounter:
+    """One global counting Bloom filter updated in a single pass."""
+
+    def __init__(self, num_counters: int, k: int, num_hashes: int = 4,
+                 counter_bits: int = 4) -> None:
+        self.k = k
+        self.filter = CountingBloomFilter(num_counters, num_hashes, counter_bits)
+
+    def process(self, reads: Iterable[str]) -> None:
+        """Count every canonical k-mer of every read."""
+        for read in reads:
+            for kmer in iter_kmers(read, self.k):
+                self.filter.insert(kmer)
+
+    def process_trace(self, reads: Iterable[str]) -> Iterator[Tuple[str, List[int]]]:
+        """Single pass, yielding ``(kmer, touched_slots)`` per insertion.
+
+        Each touched slot is one atomic read-modify-write of a sub-byte
+        counter — the fine-grained access stream BEACON's Atomic Engines
+        (Fig. 7) serve.
+        """
+        for read in reads:
+            for kmer in iter_kmers(read, self.k):
+                yield kmer, self.filter.insert(kmer)
+
+    def count(self, kmer: str) -> int:
+        return self.filter.count(kmer)
+
+
+class MultiPassKmerCounter:
+    """NEST's local-build / merge / recount flow across ``num_partitions`` DIMMs."""
+
+    def __init__(self, num_counters: int, k: int, num_partitions: int,
+                 num_hashes: int = 4, counter_bits: int = 4) -> None:
+        if num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
+        self.k = k
+        self.num_partitions = num_partitions
+        self.locals = [
+            CountingBloomFilter(num_counters, num_hashes, counter_bits)
+            for _ in range(num_partitions)
+        ]
+        self.global_filter = CountingBloomFilter(num_counters, num_hashes, counter_bits)
+        self.merged = False
+
+    def partition_reads(self, reads: Sequence[str]) -> List[List[str]]:
+        """Round-robin split of the input across partitions (DIMMs)."""
+        shards: List[List[str]] = [[] for _ in range(self.num_partitions)]
+        for i, read in enumerate(reads):
+            shards[i % self.num_partitions].append(read)
+        return shards
+
+    def pass_one(self, reads: Sequence[str]) -> None:
+        """Every partition builds its local filter over its input shard."""
+        for partition, shard in enumerate(self.partition_reads(reads)):
+            local = self.locals[partition]
+            for read in shard:
+                for kmer in iter_kmers(read, self.k):
+                    local.insert(kmer)
+
+    def merge(self) -> None:
+        """Merge the local filters into the (replicated) global filter."""
+        for local in self.locals:
+            self.global_filter.merge(local)
+        self.merged = True
+
+    def pass_two_count(self, kmer: str) -> int:
+        """Query the merged global filter (pass 2 reads it locally per DIMM)."""
+        if not self.merged:
+            raise RuntimeError("merge() must run before pass-two queries")
+        return self.global_filter.count(kmer)
+
+    def run(self, reads: Sequence[str]) -> None:
+        """Execute the full multi-pass flow."""
+        self.pass_one(reads)
+        self.merge()
+
+    def count(self, kmer: str) -> int:
+        return self.pass_two_count(kmer)
+
+    @property
+    def input_passes(self) -> int:
+        """The flow reads the entire input twice (pass 1 and pass 2)."""
+        return 2
+
+    @property
+    def replicated_bytes(self) -> int:
+        """Bytes of Bloom filter broadcast to every partition after the merge."""
+        return self.global_filter.size_bytes * self.num_partitions

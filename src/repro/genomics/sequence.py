@@ -1,0 +1,101 @@
+"""DNA sequence primitives: 2-bit encoding, complements, random genomes."""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+#: Canonical base ordering; the integer code of a base is its index here.
+BASES = "ACGT"
+
+_BASE_TO_CODE = {base: code for code, base in enumerate(BASES)}
+_COMPLEMENT = {"A": "T", "C": "G", "G": "C", "T": "A", "N": "N"}
+
+# Lookup table from ASCII byte -> 2-bit code (255 marks invalid characters).
+_ASCII_TO_CODE = np.full(256, 255, dtype=np.uint8)
+for _base, _code in _BASE_TO_CODE.items():
+    _ASCII_TO_CODE[ord(_base)] = _code
+    _ASCII_TO_CODE[ord(_base.lower())] = _code
+
+
+def encode(sequence: str) -> np.ndarray:
+    """Encode a DNA string to a ``uint8`` array of 2-bit codes (A=0..T=3).
+
+    Ambiguous bases (``N`` etc.) are not representable in the 2-bit alphabet
+    the accelerators operate on; callers should sanitize reads first (the
+    workload generators in :mod:`repro.genomics.workloads` never emit them).
+    """
+    raw = np.frombuffer(sequence.encode("ascii"), dtype=np.uint8)
+    codes = _ASCII_TO_CODE[raw]
+    if (codes == 255).any():
+        bad = chr(int(raw[np.argmax(codes == 255)]))
+        raise ValueError(f"non-ACGT character {bad!r} in sequence")
+    return codes
+
+
+def decode(codes: Union[np.ndarray, list]) -> str:
+    """Inverse of :func:`encode`."""
+    arr = np.asarray(codes, dtype=np.uint8)
+    if arr.size and int(arr.max()) > 3:
+        raise ValueError("codes must be in 0..3")
+    lut = np.frombuffer(BASES.encode("ascii"), dtype=np.uint8)
+    return lut[arr].tobytes().decode("ascii")
+
+
+def complement(base: str) -> str:
+    """Watson-Crick complement of a single base."""
+    try:
+        return _COMPLEMENT[base.upper()]
+    except KeyError:
+        raise ValueError(f"unknown base {base!r}") from None
+
+
+def reverse_complement(sequence: str) -> str:
+    """Reverse complement of a DNA string."""
+    return "".join(complement(base) for base in reversed(sequence))
+
+
+def random_genome(
+    length: int,
+    seed: int = 0,
+    gc_content: float = 0.41,
+) -> str:
+    """Generate a random genome with the given GC content.
+
+    ``gc_content`` defaults to 0.41, the approximate human value; the conifer
+    datasets in the paper are AT-rich so their workload entries override it.
+    """
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    if not 0.0 <= gc_content <= 1.0:
+        raise ValueError("gc_content must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    at = (1.0 - gc_content) / 2.0
+    gc = gc_content / 2.0
+    codes = rng.choice(4, size=length, p=[at, gc, gc, at]).astype(np.uint8)
+    return decode(codes)
+
+
+def mutate(
+    sequence: str,
+    rate: float,
+    seed: int = 0,
+) -> str:
+    """Return ``sequence`` with substitutions applied at ``rate`` per base.
+
+    Used by read samplers to emulate sequencing error / variant divergence.
+    Each selected position is replaced with a *different* uniformly random
+    base so the realized substitution rate equals ``rate``.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError("rate must be in [0, 1]")
+    if rate == 0.0 or not sequence:
+        return sequence
+    rng = np.random.default_rng(seed)
+    codes = encode(sequence)
+    flips = rng.random(len(codes)) < rate
+    # Adding 1..3 modulo 4 always lands on a different base.
+    offsets = rng.integers(1, 4, size=len(codes)).astype(np.uint8)
+    codes = np.where(flips, (codes + offsets) % 4, codes)
+    return decode(codes)

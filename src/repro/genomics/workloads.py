@@ -1,0 +1,197 @@
+"""Workload generation: the paper's datasets, scaled for simulation.
+
+The paper evaluates on five NCBI genomes — Pinus taeda (Pt), Picea glauca
+(Pg), Sequoia sempervirens (Ss), Ambystoma mexicanum (Am), Neoceratodus
+forsteri (Nf) — for the seeding/pre-alignment studies and a human genome at
+50x coverage for k-mer counting.  Those are tens-of-gigabase datasets; a
+Python cycle-level simulator cannot walk them, so each dataset is replaced
+by a deterministic synthetic genome whose *relative* size and base
+composition follow the original (conifers are AT-rich and huge, the axolotl
+is the largest, etc.), scaled by a common factor.  Relative dataset ordering
+is what the per-dataset bars in Figs. 12-16 convey; absolute runtimes are
+not comparable anyway (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.genomics.sequence import mutate, random_genome, reverse_complement
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A named dataset with its scaled-down geometry."""
+
+    name: str
+    label: str
+    genome_length: int
+    num_reads: int
+    read_length: int
+    gc_content: float
+    seed: int
+    coverage_note: str = ""
+
+
+#: Scaled stand-ins for the paper's evaluation datasets.  Genome lengths are
+#: proportional to the real assemblies (Pt 22 Gb, Pg 20 Gb, Ss 27 Gb, Am 32 Gb,
+#: Nf 34 Gb) at a 1e-5 scale; read counts give ~1x coverage of the scaled
+#: genome so simulations finish in seconds.
+SEEDING_DATASETS: Tuple[DatasetSpec, ...] = (
+    DatasetSpec("Pt", "Pinus taeda", 220_000, 220, 100, 0.38, seed=101),
+    DatasetSpec("Pg", "Picea glauca", 200_000, 200, 100, 0.39, seed=102),
+    DatasetSpec("Ss", "Sequoia sempervirens", 270_000, 270, 100, 0.36, seed=103),
+    DatasetSpec("Am", "Ambystoma mexicanum", 320_000, 320, 100, 0.43, seed=104),
+    DatasetSpec("Nf", "Neoceratodus forsteri", 340_000, 340, 100, 0.42, seed=105),
+)
+
+#: Human 50x stand-in for k-mer counting (scaled from 3.1 Gb).
+KMER_DATASET = DatasetSpec(
+    "Hs50x", "Homo sapiens 50x", 120_000, 600, 100, 0.41, seed=201,
+    coverage_note="50x coverage in the paper; 0.5x at simulation scale",
+)
+
+
+@dataclass
+class SeedingWorkload:
+    """A reference genome plus reads sampled from it."""
+
+    spec: DatasetSpec
+    reference: str
+    reads: List[str]
+    read_origins: List[int] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+
+def make_seeding_workload(
+    spec: DatasetSpec,
+    error_rate: float = 0.01,
+    scale: float = 1.0,
+    read_scale: float = 1.0,
+) -> SeedingWorkload:
+    """Build the reference + read set for one dataset.
+
+    Reads are sampled uniformly from the reference, half of them reverse-
+    complemented, with substitution errors at ``error_rate`` — the standard
+    short-read model.  ``scale`` shrinks/grows both the genome and the read
+    count together (used by quick tests); ``read_scale`` additionally
+    multiplies the read count (coverage) — the experiments raise it so the
+    accelerators run throughput-bound, as with the paper's full datasets,
+    rather than bound by one read's dependent-access chain.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    if read_scale <= 0:
+        raise ValueError("read_scale must be positive")
+    genome_length = max(spec.read_length * 4, int(spec.genome_length * scale))
+    num_reads = max(4, int(spec.num_reads * scale * read_scale))
+    reference = random_genome(genome_length, seed=spec.seed, gc_content=spec.gc_content)
+    rng = np.random.default_rng(spec.seed + 1)
+    reads: List[str] = []
+    origins: List[int] = []
+    for i in range(num_reads):
+        start = int(rng.integers(0, genome_length - spec.read_length + 1))
+        fragment = reference[start : start + spec.read_length]
+        fragment = mutate(fragment, error_rate, seed=spec.seed * 7919 + i)
+        if rng.random() < 0.5:
+            fragment = reverse_complement(fragment)
+        reads.append(fragment)
+        origins.append(start)
+    return SeedingWorkload(spec=spec, reference=reference, reads=reads, read_origins=origins)
+
+
+def make_kmer_workload(
+    spec: DatasetSpec = KMER_DATASET,
+    error_rate: float = 0.005,
+    scale: float = 1.0,
+    read_scale: float = 1.0,
+) -> SeedingWorkload:
+    """Read set for k-mer counting (the reference is only used for sampling)."""
+    return make_seeding_workload(spec, error_rate=error_rate, scale=scale,
+                                 read_scale=read_scale)
+
+
+@dataclass(frozen=True)
+class PrealignPair:
+    """One (read, candidate reference window) pair for pre-alignment."""
+
+    read: str
+    window: str
+    window_start: int
+    is_true_site: bool
+
+
+def make_prealign_pairs(
+    workload: SeedingWorkload,
+    max_edits: int,
+    candidates_per_read: int = 4,
+) -> List[PrealignPair]:
+    """Candidate pairs: the true origin window plus random decoy windows.
+
+    This mirrors what a seeding stage hands the pre-alignment filter — one
+    correct location among several spurious ones (Fig. 2's pipeline).
+    Reverse-complemented reads are paired against the reverse-complemented
+    window so the true site remains a near-match.
+    """
+    if candidates_per_read < 1:
+        raise ValueError("candidates_per_read must be >= 1")
+    rng = np.random.default_rng(workload.spec.seed + 2)
+    reference = workload.reference
+    read_length = workload.spec.read_length
+    window_length = read_length + 2 * max_edits
+    pairs: List[PrealignPair] = []
+    for read, origin in zip(workload.reads, workload.read_origins):
+        true_start, true_window = _window_at(reference, origin - max_edits, window_length)
+        # Align the vote to the read's position inside the padded window.
+        aligned = true_window[origin - true_start :]
+        if _matches_forward(read, aligned) < _matches_forward(
+            reverse_complement(read), aligned
+        ):
+            read_fwd = reverse_complement(read)
+        else:
+            read_fwd = read
+        pairs.append(
+            PrealignPair(read=read_fwd, window=true_window,
+                         window_start=true_start, is_true_site=True)
+        )
+        for _ in range(candidates_per_read - 1):
+            start = int(rng.integers(0, len(reference) - window_length + 1))
+            decoy_start, decoy_window = _window_at(reference, start, window_length)
+            pairs.append(
+                PrealignPair(
+                    read=read_fwd,
+                    window=decoy_window,
+                    window_start=decoy_start,
+                    is_true_site=False,
+                )
+            )
+    return pairs
+
+
+def _window_at(reference: str, start: int, length: int) -> Tuple[int, str]:
+    """Clamped reference slice (windows at the genome edges are shifted in)."""
+    start = max(0, min(start, len(reference) - length))
+    return start, reference[start : start + length]
+
+
+def _matches_forward(read: str, window: str) -> int:
+    """Base matches of ``read`` against the head of ``window`` (orientation vote)."""
+    return sum(1 for a, b in zip(read, window) if a == b)
+
+
+def dataset_by_name(name: str) -> DatasetSpec:
+    """Look up a dataset spec by its short name (``Pt`` ... ``Hs50x``)."""
+    registry: Dict[str, DatasetSpec] = {d.name: d for d in SEEDING_DATASETS}
+    registry[KMER_DATASET.name] = KMER_DATASET
+    try:
+        return registry[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(registry)}"
+        ) from None

@@ -1,0 +1,39 @@
+"""Memory management framework (Section IV-C).
+
+The framework manages pool memory at CXL-DIMM granularity: the host sends
+allocation requests (application, algorithm, dataset, parameters) to the
+CXL switches, which allocate DIMMs in proximity to the NDP modules, migrate
+evicted tenants (memory clean), pick per-region address mappings, and hand
+back region handles the Address Translators resolve at run time.
+"""
+
+from repro.memmgmt.regions import (
+    BlockMapLayout,
+    Region,
+    RegionLayout,
+    RegionMap,
+    ReplicatedLayout,
+    StripedLayout,
+)
+from repro.memmgmt.allocator import AllocationError, PoolAllocator
+from repro.memmgmt.placement import PlacementPlanner
+from repro.memmgmt.framework import (
+    AllocationRequest,
+    AllocationResponse,
+    MemoryManagementFramework,
+)
+
+__all__ = [
+    "AllocationError",
+    "AllocationRequest",
+    "AllocationResponse",
+    "BlockMapLayout",
+    "MemoryManagementFramework",
+    "PlacementPlanner",
+    "PoolAllocator",
+    "Region",
+    "RegionLayout",
+    "RegionMap",
+    "ReplicatedLayout",
+    "StripedLayout",
+]

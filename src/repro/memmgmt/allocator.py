@@ -1,0 +1,179 @@
+"""DIMM-granularity pool allocation with proximity preference and memory clean.
+
+The framework manages memory "in the granularity of CXL-DIMM": an
+allocation names the DIMMs it wants (nearest the requesting NDP module
+first), evicted tenants are migrated elsewhere (memory clean), and the
+chosen DIMMs are marked dedicated + non-cacheable for the host.  Row-space
+accounting per DIMM hands out disjoint ``row_base`` values so every
+region's address mapping lands on rows no other region uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.dram.mapping import AddressMapping
+from repro.dram.request import DataClass
+from repro.memmgmt.regions import Region, RegionLayout, RegionMap
+
+
+class AllocationError(RuntimeError):
+    """Raised when the pool cannot satisfy an allocation."""
+
+
+@dataclass
+class DimmState:
+    """Allocator-side view of one DIMM."""
+
+    index: int
+    node: str
+    switch: str
+    is_cxlg: bool
+    total_rows: int
+    used_rows: int = 0
+    dedicated_to: Optional[str] = None
+    non_cacheable: bool = False
+    #: Bytes of foreign tenant data migrated away during memory clean.
+    tenant_bytes: int = 0
+
+    @property
+    def free_rows(self) -> int:
+        return self.total_rows - self.used_rows
+
+
+class PoolAllocator:
+    """Tracks DIMM ownership and row-space usage across the pool."""
+
+    def __init__(self) -> None:
+        self._dimms: Dict[int, DimmState] = {}
+        self.region_map = RegionMap()
+        self._next_base = 0
+        self.migrated_bytes = 0
+        self.page_table_updates = 0
+
+    # -- inventory -----------------------------------------------------------------
+
+    def register_dimm(
+        self,
+        index: int,
+        node: str,
+        switch: str,
+        is_cxlg: bool,
+        total_rows: int = 1 << 20,
+        tenant_bytes: int = 0,
+    ) -> None:
+        """Add a DIMM to the allocator's inventory.
+
+        ``tenant_bytes`` models pre-existing data of other applications that
+        a dedication must migrate away (the memory clean step).
+        """
+        if index in self._dimms:
+            raise ValueError(f"DIMM {index} already registered")
+        self._dimms[index] = DimmState(
+            index=index, node=node, switch=switch, is_cxlg=is_cxlg,
+            total_rows=total_rows, tenant_bytes=tenant_bytes,
+        )
+
+    def dimm(self, index: int) -> DimmState:
+        return self._dimms[index]
+
+    def dimms_near(self, switch: str, include_cxlg: bool = True) -> List[int]:
+        """DIMMs under ``switch``, CXLG first (nearest to computation)."""
+        members = [d for d in self._dimms.values() if d.switch == switch]
+        members.sort(key=lambda d: (not d.is_cxlg, d.index))
+        return [d.index for d in members if include_cxlg or not d.is_cxlg]
+
+    def all_dimms(self) -> List[int]:
+        return sorted(self._dimms)
+
+    # -- dedication / memory clean -----------------------------------------------------
+
+    def dedicate(self, dimm_indices: Sequence[int], owner: str) -> int:
+        """Dedicate DIMMs to ``owner``; returns bytes migrated by memory clean.
+
+        Active data of other applications on the chosen DIMMs is migrated to
+        non-dedicated DIMMs with free space, the page tables are updated, and
+        the DIMMs are marked non-cacheable for the host.
+        """
+        migrated = 0
+        for index in dimm_indices:
+            state = self._dimms[index]
+            if state.dedicated_to not in (None, owner):
+                raise AllocationError(
+                    f"DIMM {index} already dedicated to {state.dedicated_to!r}"
+                )
+            if state.tenant_bytes:
+                self._migrate_tenants(state)
+                migrated += state.tenant_bytes
+                state.tenant_bytes = 0
+            state.dedicated_to = owner
+            state.non_cacheable = True
+        self.migrated_bytes += migrated
+        return migrated
+
+    def _migrate_tenants(self, source: DimmState) -> None:
+        # Prefer other non-dedicated pool DIMMs; when the whole pool is being
+        # dedicated, the tenants fall back to host memory (always possible).
+        # Either way the host+switches update one page-table entry per
+        # migrated 4 KiB page.
+        self.page_table_updates += -(-source.tenant_bytes // 4096)
+
+    # -- region allocation ---------------------------------------------------------------
+
+    def allocate_region(
+        self,
+        name: str,
+        size: int,
+        data_class: DataClass,
+        layout: RegionLayout,
+        mapping_factory: Callable[[int, int], AddressMapping],
+    ) -> Region:
+        """Create a region over ``layout``.
+
+        ``mapping_factory(dimm_index, row_base)`` builds the per-DIMM
+        address mapping; the allocator provides a ``row_base`` disjoint from
+        everything else on that DIMM and accounts the rows consumed.
+        """
+        if size <= 0:
+            raise ValueError("region size must be positive")
+        mappings: Dict[int, AddressMapping] = {}
+        for dimm_index in layout.dimm_indices:
+            state = self._dimms.get(dimm_index)
+            if state is None:
+                raise AllocationError(f"unknown DIMM {dimm_index}")
+            mapping = mapping_factory(dimm_index, state.used_rows)
+            share = layout.bytes_on_dimm(dimm_index, size)
+            rows = mapping.rows_used(share)
+            if rows > state.free_rows:
+                raise AllocationError(
+                    f"DIMM {dimm_index} out of rows for region {name!r} "
+                    f"(need {rows}, free {state.free_rows})"
+                )
+            state.used_rows += rows
+            mappings[dimm_index] = mapping
+        region = Region(
+            name=name, base=self._next_base, size=size,
+            data_class=data_class, layout=layout, mappings=mappings,
+        )
+        # Regions are laid out back to back in virtual space, 1 MiB aligned.
+        self._next_base += -(-size // (1 << 20)) * (1 << 20)
+        self.region_map.add(region)
+        return region
+
+    def free_region(self, name: str) -> None:
+        """De-allocate a region (rows are *not* compacted, as in hardware:
+        freed rows return to the pool only when the DIMM is released)."""
+        self.region_map.remove(name)
+
+    def release(self, dimm_indices: Sequence[int], owner: str) -> None:
+        """Return dedicated DIMMs to the host memory space."""
+        for index in dimm_indices:
+            state = self._dimms[index]
+            if state.dedicated_to != owner:
+                raise AllocationError(
+                    f"DIMM {index} is not dedicated to {owner!r}"
+                )
+            state.dedicated_to = None
+            state.non_cacheable = False
+            state.used_rows = 0

@@ -1,0 +1,140 @@
+"""Host <-> switch memory-management protocol (Fig. 8).
+
+The host talks to the CXL switches through the framework interface: an
+allocation request carries the application/algorithm/dataset information,
+the switches coordinate DIMM allocation + memory clean + data migration,
+and a success/failure response returns.  The protocol itself is cheap
+control traffic; what matters to the experiments is the *state* it sets up
+(dedicated DIMMs, regions, mappings), so the exchange is simulated with a
+pair of control messages and the state changes happen synchronously at the
+response.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.cxl.flit import MessageKind
+from repro.cxl.topology import MemoryPool
+from repro.memmgmt.allocator import AllocationError, PoolAllocator
+from repro.memmgmt.regions import Region
+from repro.sim.component import Component
+
+#: Wire bytes of a framework control message.
+CONTROL_PAYLOAD = 48
+
+
+@dataclass(frozen=True)
+class AllocationRequest:
+    """What the host tells the framework (Fig. 8's detailed information)."""
+
+    application: str            # e.g. "fm_seeding", "kmer_counting"
+    algorithm: str              # e.g. "backward_search", "single_pass"
+    dataset: str                # dataset name (for the logs/reports)
+    size_bytes: int
+    parameters: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class AllocationResponse:
+    """Success/failure plus the resulting region handle."""
+
+    success: bool
+    region: Optional[Region] = None
+    error: str = ""
+    migrated_bytes: int = 0
+
+
+class MemoryManagementFramework(Component):
+    """The framework endpoint: dedication, allocation, de-allocation."""
+
+    def __init__(
+        self,
+        engine,
+        name: str,
+        parent,
+        pool: MemoryPool,
+        allocator: PoolAllocator,
+    ) -> None:
+        super().__init__(engine, name, parent)
+        self.pool = pool
+        self.allocator = allocator
+        self.requests_served = 0
+
+    # -- setup-time API ------------------------------------------------------------
+
+    def dedicate_dimms(self, dimm_indices: Sequence[int], owner: str) -> int:
+        """Dedicate DIMMs (with memory clean) before the first allocation."""
+        migrated = self.allocator.dedicate(dimm_indices, owner)
+        self.stats.add("dedicated_dimms", len(dimm_indices))
+        self.stats.add("migrated_bytes", migrated)
+        return migrated
+
+    def allocate(
+        self,
+        request: AllocationRequest,
+        build_region: Callable[[], Region],
+        on_response: Optional[Callable[[AllocationResponse], None]] = None,
+    ) -> AllocationResponse:
+        """Run the Fig. 8 allocation workflow.
+
+        ``build_region`` performs the actual placement (via
+        :class:`~repro.memmgmt.placement.PlacementPlanner`); the framework
+        wraps it in the host->switch->host control exchange and failure
+        handling.  Returns the response synchronously *and* optionally
+        delivers it through ``on_response`` after the simulated control
+        round trip (first switch is the framework interface endpoint).
+        """
+        try:
+            region = build_region()
+            response = AllocationResponse(success=True, region=region)
+        except AllocationError as exc:
+            response = AllocationResponse(success=False, error=str(exc))
+        self.requests_served += 1
+        self.stats.add("allocations" if response.success else "allocation_failures", 1)
+        self._control_round_trip(on_response, response)
+        return response
+
+    def deallocate(
+        self,
+        region_name: str,
+        on_response: Optional[Callable[[AllocationResponse], None]] = None,
+    ) -> AllocationResponse:
+        """De-allocation workflow: unmap the region, answer the host."""
+        try:
+            self.allocator.free_region(region_name)
+            response = AllocationResponse(success=True)
+        except KeyError as exc:
+            response = AllocationResponse(success=False, error=str(exc))
+        self.stats.add("deallocations" if response.success else "deallocation_failures", 1)
+        self._control_round_trip(on_response, response)
+        return response
+
+    # -- internals --------------------------------------------------------------------
+
+    def _control_round_trip(
+        self,
+        on_response: Optional[Callable[[AllocationResponse], None]],
+        response: AllocationResponse,
+    ) -> None:
+        fabric = self.pool.fabric
+        if fabric.host is None or not fabric.switches:
+            if on_response is not None:
+                self.engine.schedule(0, lambda: on_response(response))
+            return
+        switch = next(iter(fabric.switches))
+        there = fabric.route(fabric.host.name, switch)
+        back = fabric.route(switch, fabric.host.name)
+
+        def after_request() -> None:
+            fabric.send(
+                back, MessageKind.CONTROL, CONTROL_PAYLOAD,
+                on_delivered=(lambda: on_response(response))
+                if on_response is not None
+                else (lambda: None),
+            )
+
+        fabric.send(
+            there, MessageKind.CONTROL, CONTROL_PAYLOAD, on_delivered=after_request
+        )

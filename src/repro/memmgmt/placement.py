@@ -1,0 +1,316 @@
+"""Architecture & data aware placement planning (Section IV-C).
+
+The planner turns "allocate an FM-index / hash index / Bloom filter /
+reference" into a concrete :class:`~repro.memmgmt.regions.RegionLayout` +
+per-DIMM address mappings, according to the system flavour and whether the
+data placement & address mapping optimization is enabled:
+
+* **naive** (optimization off, the CXL-vanilla configuration): every region
+  is striped at 64 B across *all* pool DIMMs with rank-interleaved lockstep
+  mapping — data lands anywhere, half the traffic crosses switches, and
+  every fine-grained access drags a full 64 B line out of 16 chips.
+* **optimized**: principle 1 — interleave at the level the DIMM supports
+  (chip groups on CXLG-DIMMs, ranks on unmodified ones); principle 2 —
+  spatially-local data mapped row-major.  Plus the placement policy proper:
+  read-only indexes are replicated per switch (the pool has abundant
+  capacity), profile-hot FM blocks go onto the CXLG-DIMMs nearest the PEs,
+  and Bloom filters live on the requesting NDP's own switch.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dram.mapping import (
+    AddressMapping,
+    ChipInterleaveMapping,
+    RankInterleaveMapping,
+    RowLocalityMapping,
+)
+from repro.dram.request import DataClass
+from repro.dram.timing import DimmGeometry
+from repro.memmgmt.allocator import PoolAllocator
+from repro.memmgmt.regions import (
+    BlockMapLayout,
+    Region,
+    RegionLayout,
+    ReplicatedLayout,
+    StripedLayout,
+)
+
+MappingFactory = Callable[[int, int], AddressMapping]
+
+
+class PlacementPlanner:
+    """Builds regions for one system configuration."""
+
+    def __init__(
+        self,
+        allocator: PoolAllocator,
+        geometry: DimmGeometry,
+        optimized: bool,
+        fine_grained_chips: int = 1,
+        near_fraction: float = 0.5,
+        baseline_fixed: bool = False,
+    ) -> None:
+        """``fine_grained_chips`` is the chip-group width used on DIMMs with
+        individual chip selects (1 = MEDAL-style single chip; the multi-chip
+        coalescing optimization raises it).  ``near_fraction`` caps how much
+        of a hot region the planner pushes onto the (scarce) CXLG-DIMMs.
+        ``baseline_fixed`` selects the prior work's *fixed* address mapping
+        (Section IV-C: "different from the previous work, which provides a
+        fixed address mapping scheme"): stripe everything across every DIMM
+        but use the customized DIMMs' fine-grained chip access."""
+        if not 0.0 < near_fraction <= 1.0:
+            raise ValueError("near_fraction must be in (0, 1]")
+        self.allocator = allocator
+        self.geometry = geometry
+        self.optimized = optimized
+        self.fine_grained_chips = fine_grained_chips
+        self.near_fraction = near_fraction
+        self.baseline_fixed = baseline_fixed
+
+    # -- mapping factories ----------------------------------------------------------
+
+    def _lockstep(self) -> MappingFactory:
+        return lambda dimm, row_base: RankInterleaveMapping(
+            self.geometry, row_base=row_base
+        )
+
+    def _per_dimm_fine(self, element_bytes: int = 0) -> MappingFactory:
+        """Chip-interleaved on fine-grained DIMMs, lockstep elsewhere.
+
+        ``element_bytes`` is the fine-grained element size; each element
+        lives wholly in one chip group (one chip-select burst sequence).
+        """
+
+        unit = max(
+            element_bytes,
+            self.geometry.burst_bytes_per_chip * self.fine_grained_chips,
+        )
+
+        def factory(dimm: int, row_base: int) -> AddressMapping:
+            if self.allocator.dimm(dimm).is_cxlg:
+                return ChipInterleaveMapping(
+                    self.geometry, self.fine_grained_chips,
+                    row_base=row_base, unit_bytes=unit,
+                )
+            return RankInterleaveMapping(self.geometry, row_base=row_base)
+
+        return factory
+
+    def _node_to_switch(self):
+        """Requester node -> switch resolver for replicated layouts."""
+        table = {}
+        for index in self.allocator.all_dimms():
+            state = self.allocator.dimm(index)
+            table[state.node] = state.switch
+            table[state.switch] = state.switch
+        return lambda node: table.get(node)
+
+    def _row_local(self) -> MappingFactory:
+        return lambda dimm, row_base: RowLocalityMapping(
+            self.geometry, row_base=row_base
+        )
+
+    # -- layout helpers -----------------------------------------------------------------
+
+    def _all_striped(self, stripe: int = 64) -> RegionLayout:
+        return StripedLayout(self.allocator.all_dimms(), stripe_bytes=stripe)
+
+    def _switches(self) -> List[str]:
+        return sorted({self.allocator.dimm(d).switch for d in self.allocator.all_dimms()})
+
+    def _replicated_per_switch(
+        self, inner: Callable[[Sequence[int]], RegionLayout]
+    ) -> RegionLayout:
+        replicas: Dict[str, RegionLayout] = {}
+        for switch in self._switches():
+            replicas[switch] = inner(self.allocator.dimms_near(switch))
+        return ReplicatedLayout(replicas, home_resolver=self._node_to_switch())
+
+    # -- region planners -----------------------------------------------------------------
+
+    def fm_index(
+        self,
+        name: str,
+        num_blocks: int,
+        block_bytes: int,
+        hot_scores: Optional[np.ndarray] = None,
+    ) -> Region:
+        """Place an FM-index (array of fixed-size occ/BWT blocks).
+
+        Optimized + CXLG available: one replica per switch; within a
+        replica the profile-hottest blocks fill the switch's CXLG-DIMMs
+        (chip-interleaved, fine-grained) and the tail round-robins over the
+        unmodified DIMMs.  Optimized without CXLG (BEACON-S): one
+        rank-interleaved replica per switch.  Naive: one copy striped over
+        everything.
+        """
+        size = num_blocks * block_bytes
+        if self.baseline_fixed:
+            return self.allocator.allocate_region(
+                name, size, DataClass.FM_INDEX_BLOCK,
+                self._all_striped(block_bytes), self._per_dimm_fine(block_bytes),
+            )
+        if not self.optimized:
+            return self.allocator.allocate_region(
+                name, size, DataClass.FM_INDEX_BLOCK,
+                self._all_striped(), self._lockstep(),
+            )
+        has_cxlg = any(
+            self.allocator.dimm(d).is_cxlg for d in self.allocator.all_dimms()
+        )
+        if not has_cxlg:
+            layout = self._replicated_per_switch(
+                lambda dimms: StripedLayout(dimms, stripe_bytes=64)
+            )
+            return self.allocator.allocate_region(
+                name, size, DataClass.FM_INDEX_BLOCK, layout, self._lockstep()
+            )
+        replicas: Dict[str, RegionLayout] = {}
+        for switch in self._switches():
+            replicas[switch] = self._hot_block_layout(
+                switch, num_blocks, block_bytes, hot_scores
+            )
+        return self.allocator.allocate_region(
+            name, size, DataClass.FM_INDEX_BLOCK,
+            ReplicatedLayout(replicas, home_resolver=self._node_to_switch()),
+            self._per_dimm_fine(block_bytes),
+        )
+
+    def _hot_block_layout(
+        self,
+        switch: str,
+        num_blocks: int,
+        block_bytes: int,
+        hot_scores: Optional[np.ndarray],
+    ) -> RegionLayout:
+        near = [
+            d for d in self.allocator.dimms_near(switch)
+            if self.allocator.dimm(d).is_cxlg
+        ]
+        far = [
+            d for d in self.allocator.dimms_near(switch)
+            if not self.allocator.dimm(d).is_cxlg
+        ] or near
+        if hot_scores is None:
+            order = np.arange(num_blocks)
+        else:
+            if len(hot_scores) != num_blocks:
+                raise ValueError("hot_scores length must equal num_blocks")
+            order = np.argsort(-np.asarray(hot_scores))  # hottest first
+        near_budget = int(num_blocks * self.near_fraction)
+        block_to_dimm = np.zeros(num_blocks, dtype=np.int64)
+        for rank_pos, block in enumerate(order):
+            if near and rank_pos < near_budget:
+                block_to_dimm[block] = near[rank_pos % len(near)]
+            else:
+                block_to_dimm[block] = far[rank_pos % len(far)]
+        return BlockMapLayout(block_bytes, block_to_dimm)
+
+    def hash_directory(self, name: str, size: int) -> Region:
+        """Bucket directory: fine-grained random 8 B reads."""
+        if self.baseline_fixed:
+            return self.allocator.allocate_region(
+                name, size, DataClass.HASH_DIRECTORY,
+                self._all_striped(), self._per_dimm_fine(8),
+            )
+        if not self.optimized:
+            return self.allocator.allocate_region(
+                name, size, DataClass.HASH_DIRECTORY,
+                self._all_striped(), self._lockstep(),
+            )
+        layout = self._replicated_per_switch(
+            lambda dimms: StripedLayout(dimms, stripe_bytes=64)
+        )
+        return self.allocator.allocate_region(
+            name, size, DataClass.HASH_DIRECTORY, layout, self._per_dimm_fine(8)
+        )
+
+    def hash_locations(self, name: str, size: int) -> Region:
+        """Location lists: spatially local; row-major when optimized
+        (principle 2: a bucket's matches share one DRAM row)."""
+        if self.baseline_fixed:
+            return self.allocator.allocate_region(
+                name, size, DataClass.HASH_LOCATIONS,
+                self._all_striped(), self._per_dimm_fine(64),
+            )
+        if not self.optimized:
+            return self.allocator.allocate_region(
+                name, size, DataClass.HASH_LOCATIONS,
+                self._all_striped(), self._lockstep(),
+            )
+        layout = self._replicated_per_switch(
+            lambda dimms: StripedLayout(
+                dimms, stripe_bytes=self.geometry.row_bytes_per_rank
+            )
+        )
+        return self.allocator.allocate_region(
+            name, size, DataClass.HASH_LOCATIONS, layout, self._row_local()
+        )
+
+    def bloom_filter(
+        self,
+        name: str,
+        size: int,
+        home_switch: Optional[str] = None,
+        home_dimm: Optional[int] = None,
+    ) -> Region:
+        """A counting Bloom filter.
+
+        ``home_switch`` names the owning NDP's switch for the per-NDP
+        filters of the multi-pass flow; ``None`` means the single global
+        filter of single-pass counting.  ``home_dimm`` pins the filter to a
+        single DIMM — NEST's design, where every DIMM's filter is strictly
+        DIMM-local.  Optimized placement keeps a homed filter on its own
+        switch's DIMMs (locality at the cost of striping over fewer DIMMs —
+        less DRAM parallelism, the Section VI-D trade-off); the naive
+        scheme stripes everything pool-wide.
+        """
+        if home_dimm is not None:
+            return self.allocator.allocate_region(
+                name, size, DataClass.BLOOM_COUNTER,
+                StripedLayout([home_dimm], stripe_bytes=64),
+                self._per_dimm_fine(4),
+            )
+        if not self.optimized or home_switch is None:
+            # Global (or un-optimized) filter: striped pool-wide.  The
+            # address-mapping half of the placement optimization still
+            # applies when enabled: chip-level interleaving on fine-grained
+            # DIMMs so a 4-bit counter RMW doesn't drag a 64 B lockstep
+            # line out of 16 chips.
+            mapping = self._per_dimm_fine(4) if self.optimized else self._lockstep()
+            return self.allocator.allocate_region(
+                name, size, DataClass.BLOOM_COUNTER,
+                self._all_striped(), mapping,
+            )
+        dimms = self.allocator.dimms_near(home_switch)
+        return self.allocator.allocate_region(
+            name, size, DataClass.BLOOM_COUNTER,
+            StripedLayout(dimms, stripe_bytes=64), self._per_dimm_fine(4),
+        )
+
+    def reference(self, name: str, size: int) -> Region:
+        """Reference genome windows: sequential, spatially local."""
+        if self.baseline_fixed:
+            return self.allocator.allocate_region(
+                name, size, DataClass.REFERENCE_WINDOW,
+                self._all_striped(self.geometry.row_bytes_per_rank),
+                self._row_local(),
+            )
+        if not self.optimized:
+            return self.allocator.allocate_region(
+                name, size, DataClass.REFERENCE_WINDOW,
+                self._all_striped(), self._lockstep(),
+            )
+        layout = self._replicated_per_switch(
+            lambda dimms: StripedLayout(
+                dimms, stripe_bytes=self.geometry.row_bytes_per_rank
+            )
+        )
+        return self.allocator.allocate_region(
+            name, size, DataClass.REFERENCE_WINDOW, layout, self._row_local()
+        )

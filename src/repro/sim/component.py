@@ -1,0 +1,49 @@
+"""Base class for simulated hardware components."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.engine import Engine
+from repro.sim.stats import StatScope
+
+
+class Component:
+    """A named component bound to an engine and a statistics scope.
+
+    Components form a tree mirroring the hardware hierarchy (pool -> switch
+    -> DIMM -> rank -> bank ...).  Each component owns a :class:`StatScope`
+    nested under its parent's scope, so experiment reports can aggregate
+    counters bottom-up (e.g. total DRAM activations across every DIMM).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        parent: Optional["Component"] = None,
+    ) -> None:
+        self.engine = engine
+        self.name = name
+        self.parent = parent
+        if parent is not None:
+            self.stats = parent.stats.child(name)
+        else:
+            self.stats = StatScope(name)
+
+    @property
+    def now(self) -> int:
+        """Current simulation time (DRAM cycles)."""
+        return self.engine.now
+
+    @property
+    def path(self) -> str:
+        """Fully qualified dotted name of this component."""
+        return self.stats.path
+
+    def schedule(self, delay: int, callback) -> None:
+        """Schedule ``callback`` after ``delay`` cycles."""
+        self.engine.schedule(delay, callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.path} @ {self.now}>"

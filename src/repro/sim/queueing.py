@@ -1,0 +1,93 @@
+"""Bounded queues connecting pipeline stages.
+
+Hardware queues (task queues, I/O buffers, controller request queues) are
+modelled as :class:`BoundedQueue`: a FIFO with a capacity and an optional
+drain callback.  Producers either test :meth:`BoundedQueue.full` first or
+handle :class:`QueueFullError`; consumers register interest via
+:meth:`BoundedQueue.on_push` so they wake up exactly when work arrives
+(avoiding per-cycle polling, which keeps the event count low).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Generic, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class QueueFullError(RuntimeError):
+    """Raised when pushing to a full :class:`BoundedQueue`."""
+
+
+class BoundedQueue(Generic[T]):
+    """FIFO with bounded capacity and push notification.
+
+    ``capacity=None`` means unbounded (used for idealized components).
+    """
+
+    def __init__(self, name: str, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive or None, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self._items: Deque[T] = deque()
+        self._subscribers: List[Callable[[], None]] = []
+        self.pushes = 0
+        self.pops = 0
+        self.max_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    def empty(self) -> bool:
+        return not self._items
+
+    def push(self, item: T) -> None:
+        """Append ``item``; raises :class:`QueueFullError` when full."""
+        if self.full():
+            raise QueueFullError(f"queue '{self.name}' full (capacity={self.capacity})")
+        self._items.append(item)
+        self.pushes += 1
+        self.max_occupancy = max(self.max_occupancy, len(self._items))
+        for notify in self._subscribers:
+            notify()
+
+    def try_push(self, item: T) -> bool:
+        """Append ``item`` if there is room; return whether it was queued."""
+        if self.full():
+            return False
+        self.push(item)
+        return True
+
+    def pop(self) -> T:
+        """Remove and return the oldest item."""
+        if not self._items:
+            raise IndexError(f"pop from empty queue '{self.name}'")
+        self.pops += 1
+        return self._items.popleft()
+
+    def peek(self) -> T:
+        """Return the oldest item without removing it."""
+        if not self._items:
+            raise IndexError(f"peek at empty queue '{self.name}'")
+        return self._items[0]
+
+    def remove(self, item: T) -> None:
+        """Remove a specific item (used by FR-FCFS out-of-order issue)."""
+        self._items.remove(item)
+        self.pops += 1
+
+    def items(self) -> Deque[T]:
+        """The underlying deque (read-only use by schedulers)."""
+        return self._items
+
+    def on_push(self, callback: Callable[[], None]) -> None:
+        """Register ``callback`` to run synchronously after every push."""
+        self._subscribers.append(callback)

@@ -1,0 +1,125 @@
+"""Hierarchical simulation statistics.
+
+A :class:`StatScope` is a node in a tree of named scopes.  Each scope holds
+counters (monotonic integers/floats), gauges (last value + time-weighted
+average support), and histograms (value lists with summary helpers).  The
+experiment harness aggregates counters across subtrees with
+:meth:`StatScope.total`, which is how, for example, total DRAM energy is
+summed over every bank of every DIMM in a pool.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+
+class Histogram:
+    """A lightweight value accumulator with summary statistics."""
+
+    def __init__(self) -> None:
+        self.values: List[float] = []
+
+    def record(self, value: float) -> None:
+        self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.values else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Return the ``p``-th percentile (0 <= p <= 100) by nearest rank."""
+        if not self.values:
+            return 0.0
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        ordered = sorted(self.values)
+        rank = max(0, min(len(ordered) - 1, int(round(p / 100.0 * (len(ordered) - 1)))))
+        return ordered[rank]
+
+
+class StatScope:
+    """A named node in the statistics tree."""
+
+    def __init__(self, name: str, parent: Optional["StatScope"] = None) -> None:
+        self.name = name
+        self.parent = parent
+        self.counters: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self.children: Dict[str, "StatScope"] = {}
+
+    # -- tree structure ----------------------------------------------------
+
+    @property
+    def path(self) -> str:
+        if self.parent is None:
+            return self.name
+        return f"{self.parent.path}.{self.name}"
+
+    def child(self, name: str) -> "StatScope":
+        """Return (creating if needed) the child scope called ``name``."""
+        if name not in self.children:
+            self.children[name] = StatScope(name, parent=self)
+        return self.children[name]
+
+    def walk(self) -> Iterator["StatScope"]:
+        """Yield this scope and every descendant, depth-first."""
+        yield self
+        for child in self.children.values():
+            yield from child.walk()
+
+    # -- counters ----------------------------------------------------------
+
+    def add(self, key: str, amount: float = 1.0) -> None:
+        """Increment counter ``key`` by ``amount``."""
+        self.counters[key] = self.counters.get(key, 0.0) + amount
+
+    def get(self, key: str, default: float = 0.0) -> float:
+        return self.counters.get(key, default)
+
+    def set(self, key: str, value: float) -> None:
+        self.counters[key] = value
+
+    def total(self, key: str) -> float:
+        """Sum of counter ``key`` over this scope and all descendants."""
+        return sum(scope.counters.get(key, 0.0) for scope in self.walk())
+
+    # -- histograms ----------------------------------------------------------
+
+    def histogram(self, key: str) -> Histogram:
+        if key not in self.histograms:
+            self.histograms[key] = Histogram()
+        return self.histograms[key]
+
+    def record(self, key: str, value: float) -> None:
+        self.histogram(key).record(value)
+
+    # -- reporting -----------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        """Nested plain-dict snapshot (for tests and JSON dumps)."""
+        out: Dict[str, object] = dict(self.counters)
+        for key, hist in self.histograms.items():
+            out[f"{key}:count"] = hist.count
+            out[f"{key}:mean"] = hist.mean
+        for name, child in self.children.items():
+            out[name] = child.as_dict()
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<StatScope {self.path} counters={len(self.counters)}>"

@@ -1,0 +1,16 @@
+"""Test-suite configuration.
+
+Hypothesis runs with a generous deadline (the event-driven simulations
+inside some properties are CPU-heavy, and wall-clock varies with machine
+load) and deterministic derandomization so CI failures reproduce locally.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

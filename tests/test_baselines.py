@@ -1,0 +1,120 @@
+"""Tests for the baseline systems: MEDAL, NEST, and the CPU model."""
+
+import pytest
+
+from repro.baselines import CpuConfig, CpuModel, Medal, Nest
+from repro.core import Algorithm, BeaconConfig, BeaconD, OptimizationFlags
+from repro.dram.dimm import DimmKind
+from repro.genomics.workloads import (
+    SEEDING_DATASETS,
+    make_kmer_workload,
+    make_seeding_workload,
+)
+
+CFG = BeaconConfig().scaled(16)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_seeding_workload(SEEDING_DATASETS[0], scale=0.06,
+                                 read_scale=2.0)
+
+
+class TestDdrTopology:
+    def test_medal_structure(self):
+        medal = Medal(config=CFG)
+        assert medal.variant == "medal"
+        assert medal.pe_hw_key == "MEDAL"
+        assert len(medal.pool.dimms) == CFG.total_dimms
+        # Every baseline DIMM is customized (fine-grained capable).
+        assert all(d.kind is DimmKind.DDR_CUSTOM for d in medal.pool.dimms)
+        # One NDP module per DIMM, all wired for task migration.
+        assert len(medal.ndp_modules) == CFG.total_dimms
+        assert all(m.migration_peers is not None for m in medal.ndp_modules)
+
+    def test_pe_population_matches_beacon_d(self):
+        medal = Medal(config=CFG)
+        beacon = BeaconD(config=CFG)
+        assert (sum(m.pes.num_pes for m in medal.ndp_modules)
+                == sum(m.pes.num_pes for m in beacon.ndp_modules))
+
+    def test_baseline_planner_is_fixed_scheme(self):
+        medal = Medal(config=CFG)
+        assert medal.planner.baseline_fixed
+        assert not medal.planner.optimized
+
+
+class TestMedalBehaviour:
+    def test_migrations_happen(self, workload):
+        medal = Medal(config=CFG)
+        medal.run_fm_seeding(workload)
+        migrations = sum(m.stats.get("task_migrations", 0)
+                         for m in medal.ndp_modules)
+        assert migrations > 0
+        # After migration, accesses are mostly DIMM-local (a backward-search
+        # step reads two occ blocks; migration co-locates the first, the
+        # second may still be remote).
+        local = sum(m.stats.get("local_requests", 0) for m in medal.ndp_modules)
+        total = sum(m.stats.get("mem_requests", 0) for m in medal.ndp_modules)
+        assert local / total > 0.75
+
+    def test_idealized_twin_is_faster(self, workload):
+        real = Medal(config=CFG).run_fm_seeding(workload)
+        ideal = Medal(config=CFG.idealized()).run_fm_seeding(workload)
+        assert ideal.runtime_cycles < real.runtime_cycles
+
+
+class TestNestBehaviour:
+    def test_filters_are_dimm_local(self):
+        kmer = make_kmer_workload(scale=0.08, read_scale=0.3)
+        nest = Nest(config=CFG)
+        nest.run_kmer_counting(kmer, k=13, num_counters=1 << 14)
+        # Every Bloom region sits on exactly one DIMM (NEST's design).
+        for region in nest.allocator.region_map:
+            if region.name.startswith("bloom"):
+                assert len(region.layout.dimm_indices) == 1
+        # All counter traffic stayed local.
+        local = sum(m.stats.get("local_requests", 0) for m in nest.ndp_modules)
+        total = sum(m.stats.get("mem_requests", 0) for m in nest.ndp_modules)
+        assert local / total > 0.99
+
+    def test_multi_pass_processes_input_twice(self):
+        kmer = make_kmer_workload(scale=0.08, read_scale=0.3)
+        nest = Nest(config=CFG)
+        report = nest.run_kmer_counting(kmer, k=13, num_counters=1 << 14)
+        assert report.tasks_completed == 2 * len(kmer.reads)
+
+
+class TestCpuModel:
+    def test_threads_speed_things_up(self, workload):
+        slow = CpuModel(CpuConfig(threads=1)).run_fm_seeding(workload)
+        fast = CpuModel(CpuConfig(threads=48)).run_fm_seeding(workload)
+        assert fast.runtime_ns < slow.runtime_ns
+
+    def test_bandwidth_floor_binds_for_cheap_ops(self, workload):
+        config = CpuConfig()
+        cheap = CpuConfig(threads=10_000)  # compute time -> 0
+        report = CpuModel(cheap).run_fm_seeding(workload)
+        assert report.extra["bandwidth_bound"] == 1.0
+
+    def test_energy_split(self, workload):
+        report = CpuModel().run_fm_seeding(workload)
+        assert report.energy_comm_nj == 0.0
+        assert report.energy_dram_nj > 0
+        assert report.energy_compute_nj > report.energy_dram_nj
+
+    def test_calibration_anchor_is_consistent(self, workload):
+        """MEDAL lands in the neighbourhood of its published CPU gap
+        (order 100x) under the calibrated constants."""
+        cpu = CpuModel().run_fm_seeding(workload)
+        medal = Medal(config=CFG).run_fm_seeding(workload)
+        ratio = cpu.runtime_ns / medal.runtime_ns
+        assert 10 < ratio < 2000
+
+    def test_all_paper_algorithms_covered(self, workload):
+        cpu = CpuModel()
+        for algorithm in Algorithm:
+            if algorithm is Algorithm.CUSTOM:
+                continue  # extensions have no software baseline
+            report = cpu.run_algorithm(algorithm, workload)
+            assert report.algorithm == algorithm.value

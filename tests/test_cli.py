@@ -1,0 +1,39 @@
+"""Tests for the command-line entry point."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+def test_list_prints_catalog(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("fig12", "fig15", "table2", "sec6g"):
+        assert name in out
+
+
+def test_catalog_is_complete():
+    # One entry per paper artifact (Fig. 3 + Figs. 12-17 + 2 tables + VI-G).
+    assert set(EXPERIMENTS) == {
+        "fig3", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+        "table1", "table2", "sec6g",
+    }
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["fig99"])
+
+
+def test_quick_run_of_cheap_figure(capsys):
+    assert main(["table2", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "PE hardware overhead" in out
+    assert "BEACON" in out
+
+
+def test_quick_run_of_fig13(capsys):
+    assert main(["fig13", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "coalescing" in out
+    assert "imbalance" in out

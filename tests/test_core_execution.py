@@ -1,0 +1,214 @@
+"""Integration tests: NDP module execution, atomic engines, task migration."""
+
+import pytest
+
+from repro.core import Algorithm, BeaconConfig, ComputeStep, MemStep, Task
+from repro.core.atomic_engine import AtomicEngineBank
+from repro.core.beacon import BeaconD, BeaconS
+from repro.core.ndp_module import NdpModule
+from repro.core.task import AccessSpec
+from repro.cxl import CommParams
+from repro.cxl.topology import MemoryPool
+from repro.dram import DimmKind, MemoryRequest, RankInterleaveMapping
+from repro.dram.request import AccessKind, DataClass
+from repro.dram.timing import DimmGeometry
+from repro.memmgmt.regions import Region, RegionMap, StripedLayout
+from repro.sim import Engine
+from repro.sim.component import Component
+
+GEO = DimmGeometry()
+
+
+def tiny_pool(num_dimms=2, comm=None):
+    engine = Engine()
+    root = Component(engine, "sys")
+    pool = MemoryPool(engine, "pool", root,
+                      comm or CommParams(device_bias=True))
+    pool.fabric.add_host()
+    pool.fabric.add_switch("sw0")
+    for j in range(num_dimms):
+        pool.add_dimm(f"d0.{j}", "sw0", DimmKind.CXLG)
+    region_map = RegionMap()
+    region_map.add(Region(
+        name="mem", base=0, size=1 << 20, data_class=DataClass.GENERIC,
+        layout=StripedLayout(list(range(num_dimms)), stripe_bytes=64),
+        mappings={j: RankInterleaveMapping(GEO) for j in range(num_dimms)},
+    ))
+    return engine, root, pool, region_map
+
+
+def simple_task(addresses, compute=4, algorithm=Algorithm.FM_SEEDING,
+                trace=None):
+    def gen():
+        for addr in addresses:
+            yield ComputeStep(compute)
+            yield MemStep([AccessSpec(addr=addr, size=32)])
+            if trace is not None:
+                trace.append(addr)
+
+    return Task(algorithm=algorithm, steps=gen())
+
+
+class TestNdpModule:
+    def test_task_runs_to_completion(self):
+        engine, root, pool, rmap = tiny_pool()
+        module = NdpModule(engine, "ndp", root, node="d0.0", num_pes=2,
+                           pool=pool, region_map=rmap)
+        done = []
+        task = simple_task([0, 64, 128])
+        task.on_done = done.append
+        module.submit_task(task)
+        engine.run()
+        assert done == [task]
+        assert module.tasks_completed == 1
+        assert module.stats.get("mem_requests") == 3
+        assert task.finished_at > task.started_at
+
+    def test_pe_task_switching_overlaps_tasks(self):
+        """With 1 PE and 2 tasks, memory waits overlap: total runtime is far
+        below the serial sum (the paper's task-switching behaviour)."""
+        def run(num_tasks):
+            engine, root, pool, rmap = tiny_pool()
+            module = NdpModule(engine, "ndp", root, node="d0.0", num_pes=1,
+                               pool=pool, region_map=rmap)
+            for t in range(num_tasks):
+                module.submit_task(simple_task([64 * i for i in range(20)]))
+            engine.run()
+            assert module.tasks_completed == num_tasks
+            return engine.now
+
+        one = run(1)
+        two = run(2)
+        assert two < 2 * one * 0.8
+
+    def test_local_requests_counted(self):
+        engine, root, pool, rmap = tiny_pool()
+        module = NdpModule(engine, "ndp", root, node="d0.0", num_pes=1,
+                           pool=pool, region_map=rmap)
+        module.submit_task(simple_task([0, 64]))  # stripe: d0.0 then d0.1
+        engine.run()
+        assert module.stats.get("local_requests") == 1
+
+    def test_empty_mem_step_continues(self):
+        engine, root, pool, rmap = tiny_pool()
+        module = NdpModule(engine, "ndp", root, node="d0.0", num_pes=1,
+                           pool=pool, region_map=rmap)
+
+        def gen():
+            yield MemStep([])
+            yield ComputeStep(2)
+
+        task = Task(algorithm=Algorithm.FM_SEEDING, steps=gen())
+        module.submit_task(task)
+        engine.run()
+        assert module.tasks_completed == 1
+
+
+class TestTaskMigration:
+    def test_task_migrates_to_data(self):
+        engine, root, pool, rmap = tiny_pool()
+        a = NdpModule(engine, "ndp0", root, node="d0.0", num_pes=1,
+                      pool=pool, region_map=rmap)
+        b = NdpModule(engine, "ndp1", root, node="d0.1", num_pes=1,
+                      pool=pool, region_map=rmap)
+        peers = {"d0.0": a, "d0.1": b}
+        a.migration_peers = peers
+        b.migration_peers = peers
+        # Addresses alternate DIMMs -> the task ping-pongs between modules.
+        task = simple_task([0, 64, 128, 192])
+        a.submit_task(task)
+        engine.run()
+        assert a.tasks_completed + b.tasks_completed == 1
+        assert a.stats.get("task_migrations", 0) >= 1
+        assert b.stats.get("tasks_received", 0) >= 1
+        # Every access was DIMM-local after migration.
+        total_local = a.stats.get("local_requests") + b.stats.get("local_requests")
+        assert total_local == 4
+
+    def test_no_migration_without_peers(self):
+        engine, root, pool, rmap = tiny_pool()
+        a = NdpModule(engine, "ndp0", root, node="d0.0", num_pes=1,
+                      pool=pool, region_map=rmap)
+        a.submit_task(simple_task([64]))
+        engine.run()
+        assert a.stats.get("task_migrations", 0) == 0
+        assert a.tasks_completed == 1
+
+
+class TestAtomicEngineBank:
+    def _bank(self, engines=2, pool_dimms=1):
+        engine, root, pool, rmap = tiny_pool(num_dimms=pool_dimms)
+        bank = AtomicEngineBank(engine, "atomics", root, node="sw0",
+                                num_engines=engines, compute_cycles=4)
+        return engine, pool, bank
+
+    def _rmw(self, addr=0):
+        req = MemoryRequest(addr=addr, size=1, kind=AccessKind.ATOMIC_RMW)
+        req.coord = RankInterleaveMapping(GEO).map(addr)
+        req.dimm_index = 0
+        return req
+
+    def test_rmw_issues_read_then_write(self):
+        engine, pool, bank = self._bank()
+        done = []
+        bank.perform(pool, self._rmw(), done.append)
+        engine.run()
+        assert len(done) == 1
+        assert pool.controllers[0].stats.get("issued") == 2
+
+    def test_rejects_non_atomic(self):
+        engine, pool, bank = self._bank()
+        req = MemoryRequest(addr=0, size=1, kind=AccessKind.READ)
+        with pytest.raises(ValueError):
+            bank.perform(pool, req, lambda r: None)
+
+    def test_backlog_drains_under_engine_pressure(self):
+        engine, pool, bank = self._bank(engines=1)
+        done = []
+        for i in range(20):
+            bank.perform(pool, self._rmw(addr=i * 64), done.append)
+        engine.run()
+        assert len(done) == 20
+        assert bank.busy == 0
+        assert bank.stats.get("rmw_ops") == 20
+
+    def test_validation(self):
+        engine, root, pool, _ = tiny_pool()
+        with pytest.raises(ValueError):
+            AtomicEngineBank(engine, "a", root, "sw0", num_engines=0)
+        with pytest.raises(ValueError):
+            AtomicEngineBank(engine, "a2", root, "sw0", num_engines=1,
+                             compute_cycles=-1)
+
+
+class TestSystemConstruction:
+    def test_beacon_d_topology(self):
+        system = BeaconD(config=BeaconConfig().scaled(16))
+        assert len(system.pool.dimms) == 8
+        cxlg = [d for d in system.pool.dimms if d.kind is DimmKind.CXLG]
+        assert len(cxlg) == 2
+        assert len(system.ndp_modules) == 2
+        assert all(m.node.startswith("d") for m in system.ndp_modules)
+
+    def test_beacon_s_topology(self):
+        system = BeaconS(config=BeaconConfig().scaled(16))
+        assert all(d.kind is DimmKind.UNMODIFIED_CXL for d in system.pool.dimms)
+        assert len(system.ndp_modules) == 2
+        assert all(m.node.startswith("sw") for m in system.ndp_modules)
+
+    def test_single_shot_guard(self):
+        from repro.genomics.workloads import SEEDING_DATASETS, make_seeding_workload
+
+        system = BeaconD(config=BeaconConfig().scaled(16))
+        w = make_seeding_workload(SEEDING_DATASETS[0], scale=0.02)
+        system.run_fm_seeding(w)
+        with pytest.raises(RuntimeError, match="single-shot"):
+            system.run_fm_seeding(w)
+
+    def test_dedication_happened(self):
+        system = BeaconD(config=BeaconConfig().scaled(16))
+        assert all(
+            system.allocator.dimm(d).dedicated_to == system.label
+            for d in system.allocator.all_dimms()
+        )
+        assert system.framework.stats.get("migrated_bytes") > 0

@@ -1,0 +1,65 @@
+"""Tests for the post-run diagnostics collector."""
+
+import pytest
+
+from repro.core import Algorithm, BeaconConfig, BeaconD, OptimizationFlags
+from repro.experiments.diagnostics import collect, print_diagnostics
+from repro.genomics.workloads import SEEDING_DATASETS, make_seeding_workload
+
+
+@pytest.fixture(scope="module")
+def finished_system():
+    system = BeaconD(
+        config=BeaconConfig().scaled(16),
+        flags=OptimizationFlags.all_for("beacon-d", Algorithm.FM_SEEDING),
+    )
+    workload = make_seeding_workload(SEEDING_DATASETS[0], scale=0.06,
+                                     read_scale=2.0)
+    system.run_fm_seeding(workload)
+    return system
+
+
+def test_collect_structure(finished_system):
+    diag = collect(finished_system)
+    assert diag.runtime_cycles > 0
+    assert len(diag.controllers) == 8
+    assert len(diag.modules) == 2
+    assert diag.links  # every fabric link with traffic appears
+
+
+def test_link_utilization_bounds(finished_system):
+    diag = collect(finished_system)
+    for link in diag.links:
+        assert 0.0 <= link.utilization <= 1.0
+        assert link.wire_bytes >= 0
+
+
+def test_controller_metrics(finished_system):
+    diag = collect(finished_system)
+    issued = sum(c.issued for c in diag.controllers)
+    assert issued > 0
+    for ctrl in diag.controllers:
+        assert 0.0 <= ctrl.row_hit_rate <= 1.0
+        if ctrl.accessed_bytes:
+            assert 0.0 < ctrl.access_efficiency <= 1.0
+
+
+def test_module_locality(finished_system):
+    diag = collect(finished_system)
+    # Full-optimization BEACON-D keeps most requests DIMM-local.
+    mean_local = sum(m.local_fraction for m in diag.modules) / len(diag.modules)
+    assert mean_local > 0.5
+
+
+def test_bottleneck_guess_is_labelled(finished_system):
+    diag = collect(finished_system)
+    assert diag.bottleneck_guess() in {
+        "dram-activation-bound", "latency/parallelism-bound", "unknown",
+    } or diag.bottleneck_guess().startswith("link-bound")
+
+
+def test_print_does_not_crash(finished_system, capsys):
+    print_diagnostics(collect(finished_system))
+    out = capsys.readouterr().out
+    assert "hottest links" in out
+    assert "NDP modules" in out

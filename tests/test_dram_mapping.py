@@ -1,0 +1,121 @@
+"""Tests for the address mapping schemes (Fig. 10): bijectivity + geometry."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dram.mapping import (
+    ChipInterleaveMapping,
+    RankInterleaveMapping,
+    RowLocalityMapping,
+)
+from repro.dram.timing import DimmGeometry
+
+GEO = DimmGeometry()
+
+MAPPINGS = [
+    lambda: RankInterleaveMapping(GEO),
+    lambda: ChipInterleaveMapping(GEO, chips_per_group=1, unit_bytes=32),
+    lambda: ChipInterleaveMapping(GEO, chips_per_group=8, unit_bytes=32),
+    lambda: ChipInterleaveMapping(GEO, chips_per_group=16),
+    lambda: RowLocalityMapping(GEO),
+    lambda: RowLocalityMapping(GEO, chips_per_group=4),
+]
+
+
+@pytest.mark.parametrize("factory", MAPPINGS)
+def test_injective_over_dense_range(factory):
+    mapping = factory()
+    seen = set()
+    for addr in range(0, 1 << 16, 1):
+        c = mapping.map(addr)
+        key = (c.rank, c.bank, c.row, c.column, c.chip_group)
+        assert key not in seen, f"collision at {addr:#x}"
+        seen.add(key)
+
+
+@pytest.mark.parametrize("factory", MAPPINGS)
+def test_coordinates_in_bounds(factory):
+    mapping = factory()
+    for addr in range(0, 1 << 18, 4097):
+        c = mapping.map(addr)
+        assert 0 <= c.rank < GEO.ranks
+        assert 0 <= c.bank < GEO.banks
+        assert 0 <= c.column < GEO.row_bytes_per_chip * c.chips_per_group
+        assert 0 <= c.chip_group < GEO.chips_per_rank // c.chips_per_group
+        assert c.first_chip + c.chips_per_group <= GEO.chips_per_rank
+
+
+@settings(max_examples=200)
+@given(st.integers(min_value=0, max_value=1 << 30))
+def test_rank_interleave_line_locality(addr):
+    """Bytes of one 64 B line stay in one (rank, bank, row) under lockstep."""
+    mapping = RankInterleaveMapping(GEO)
+    base = (addr // 64) * 64
+    coords = [mapping.map(base + o) for o in (0, 31, 63)]
+    assert len({(c.rank, c.bank, c.row) for c in coords}) == 1
+    assert coords[2].column - coords[0].column == 63
+
+
+@settings(max_examples=200)
+@given(st.integers(min_value=0, max_value=1 << 30))
+def test_chip_interleave_unit_stays_in_group(addr):
+    """A fine-grained element never spans chip groups (the unit contract)."""
+    mapping = ChipInterleaveMapping(GEO, chips_per_group=1, unit_bytes=32)
+    base = (addr // 32) * 32
+    coords = [mapping.map(base + o) for o in (0, 15, 31)]
+    assert len({(c.rank, c.chip_group, c.bank, c.row) for c in coords}) == 1
+
+
+def test_chip_interleave_spreads_consecutive_units():
+    mapping = ChipInterleaveMapping(GEO, chips_per_group=1, unit_bytes=32)
+    groups = [mapping.map(i * 32).chip_group for i in range(16)]
+    assert sorted(groups) == list(range(16))
+
+
+def test_row_locality_keeps_runs_in_one_row():
+    mapping = RowLocalityMapping(GEO)
+    row_bytes = GEO.row_bytes_per_rank
+    coords = [mapping.map(a) for a in range(0, row_bytes, 997)]
+    assert len({(c.rank, c.bank, c.row, c.chip_group) for c in coords}) == 1
+    nxt = mapping.map(row_bytes)
+    first = coords[0]
+    assert (nxt.rank, nxt.bank, nxt.row, nxt.chip_group) != (
+        first.rank, first.bank, first.row, first.chip_group)
+
+
+def test_row_base_offsets_rows():
+    plain = RankInterleaveMapping(GEO)
+    shifted = RankInterleaveMapping(GEO, row_base=100)
+    a, b = plain.map(12345), shifted.map(12345)
+    assert b.row == a.row + 100
+    assert (b.rank, b.bank, b.column) == (a.rank, a.bank, a.column)
+
+
+def test_rows_used_monotonic_and_positive():
+    for factory in MAPPINGS:
+        mapping = factory()
+        r1 = mapping.rows_used(1)
+        r2 = mapping.rows_used(1 << 24)
+        assert r1 >= 1
+        assert r2 >= r1
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ChipInterleaveMapping(GEO, chips_per_group=3)  # must divide 16
+    with pytest.raises(ValueError):
+        ChipInterleaveMapping(GEO, chips_per_group=1, unit_bytes=7)
+    with pytest.raises(ValueError):
+        RankInterleaveMapping(GEO, row_base=-1)
+    with pytest.raises(ValueError):
+        RankInterleaveMapping(GEO).map(-1)
+
+
+def test_geometry_helpers():
+    assert GEO.banks == 16
+    assert GEO.row_bytes_per_rank == 16384
+    assert GEO.burst_bytes_per_rank == 64
+    assert GEO.chip_groups(4) == 4
+    with pytest.raises(ValueError):
+        GEO.chip_groups(5)
+    assert GEO.rows_per_bank(1 << 30) >= 1

@@ -1,0 +1,94 @@
+"""Tests for the DRAM energy model and per-chip access accounting."""
+
+import pytest
+
+from repro.dram.chip import ChipAccessCounters
+from repro.dram.power import DramEnergyModel, DramEnergyParams
+from repro.dram.timing import DimmGeometry
+from repro.sim.stats import StatScope
+
+GEO = DimmGeometry()
+
+
+class TestEnergyModel:
+    def _model(self):
+        stats = StatScope("dimm")
+        return stats, DramEnergyModel(stats, total_chips=64, tck_ns=1.25)
+
+    def test_activation_energy_scales_with_chips(self):
+        stats, model = self._model()
+        model.on_activate(chips=1)
+        one = stats.get("energy_act_nj")
+        model.on_activate(chips=16)
+        assert stats.get("energy_act_nj") == pytest.approx(17 * one)
+
+    def test_write_bursts_cost_more_than_reads(self):
+        stats, model = self._model()
+        model.on_burst(chips=8, bursts=4, is_write=False)
+        reads = stats.get("energy_rw_nj")
+        stats2, model2 = self._model()
+        model2.on_burst(chips=8, bursts=4, is_write=True)
+        assert stats2.get("energy_rw_nj") > reads
+
+    def test_background_is_idempotent(self):
+        stats, model = self._model()
+        model.finalize(10_000)
+        first = stats.get("energy_background_nj")
+        model.finalize(10_000)
+        assert stats.get("energy_background_nj") == first
+        assert first > 0
+
+    def test_total(self):
+        stats, model = self._model()
+        model.on_activate(4)
+        model.on_burst(4, 2, False)
+        model.finalize(1000)
+        assert model.total_nj() == pytest.approx(
+            stats.get("energy_act_nj") + stats.get("energy_rw_nj")
+            + stats.get("energy_background_nj")
+        )
+
+    def test_params_are_physically_ordered(self):
+        p = DramEnergyParams()
+        # An activation costs much more than a column burst per chip.
+        assert p.act_pre_nj_per_chip > p.read_burst_nj_per_chip
+        assert p.write_burst_nj_per_chip >= p.read_burst_nj_per_chip
+
+
+class TestChipAccessCounters:
+    def test_record_credits_whole_group(self):
+        counters = ChipAccessCounters(GEO)
+        counters.record(rank=0, chip_group=1, chips_per_group=4, bursts=3)
+        per_chip = counters.per_chip()
+        assert per_chip[4:8] == [3, 3, 3, 3]
+        assert sum(per_chip) == 12
+
+    def test_normalized_mean_is_one(self):
+        counters = ChipAccessCounters(GEO)
+        for group in range(16):
+            counters.record(0, group, 1, bursts=group + 1)
+        normalized = counters.normalized()
+        assert sum(normalized) / len(normalized) == pytest.approx(1.0)
+
+    def test_imbalance_zero_when_uniform(self):
+        counters = ChipAccessCounters(GEO)
+        for group in range(16):
+            counters.record(0, group, 1, bursts=5)
+        assert counters.imbalance() == pytest.approx(0.0)
+
+    def test_imbalance_positive_when_skewed(self):
+        counters = ChipAccessCounters(GEO)
+        counters.record(0, 0, 1, bursts=100)
+        counters.record(0, 1, 1, bursts=1)
+        assert counters.imbalance() > 1.0
+
+    def test_empty_counters(self):
+        counters = ChipAccessCounters(GEO)
+        assert counters.imbalance() == 0.0
+        assert counters.normalized() == [0.0] * 16
+
+    def test_ranks_summed(self):
+        counters = ChipAccessCounters(GEO)
+        counters.record(0, 0, 1, bursts=2)
+        counters.record(3, 0, 1, bursts=5)
+        assert counters.per_chip()[0] == 7

@@ -1,0 +1,65 @@
+"""Cross-cutting energy-accounting tests: the report's breakdown equals the
+sum of its parts, refresh energy is included, idealized links are free."""
+
+import pytest
+
+from repro.core import Algorithm, BeaconConfig, BeaconD, OptimizationFlags
+from repro.genomics.workloads import SEEDING_DATASETS, make_seeding_workload
+
+CFG = BeaconConfig().scaled(16)
+
+
+@pytest.fixture(scope="module")
+def run_pair():
+    workload = make_seeding_workload(SEEDING_DATASETS[0], scale=0.06,
+                                     read_scale=2.0)
+    flags = OptimizationFlags.all_for("beacon-d", Algorithm.FM_SEEDING)
+    real_sys = BeaconD(config=CFG, flags=flags)
+    real = real_sys.run_fm_seeding(workload)
+    ideal_sys = BeaconD(config=CFG.idealized(), flags=flags)
+    ideal = ideal_sys.run_fm_seeding(workload)
+    return real_sys, real, ideal_sys, ideal
+
+
+def test_breakdown_sums_to_total(run_pair):
+    _sys, real, _isys, _ideal = run_pair
+    assert real.total_energy_nj == pytest.approx(
+        real.energy_dram_nj + real.energy_comm_nj + real.energy_compute_nj
+    )
+    assert real.energy_dram_nj > 0
+    assert real.energy_comm_nj > 0
+    assert real.energy_compute_nj > 0
+
+
+def test_report_dram_energy_matches_dimm_models(run_pair):
+    system, real, _isys, _ideal = run_pair
+    per_dimm = sum(d.energy.total_nj() for d in system.pool.dimms)
+    assert real.energy_dram_nj == pytest.approx(per_dimm)
+
+
+def test_idealized_links_consume_no_comm_energy(run_pair):
+    _sys, _real, _isys, ideal = run_pair
+    assert ideal.energy_comm_nj == 0.0
+
+
+def test_comm_energy_matches_fabric_rollup(run_pair):
+    system, real, _isys, _ideal = run_pair
+    assert real.energy_comm_nj == pytest.approx(
+        system.pool.fabric.comm_energy_pj() / 1000.0
+    )
+
+
+def test_background_energy_scales_with_runtime():
+    workload = make_seeding_workload(SEEDING_DATASETS[0], scale=0.06,
+                                     read_scale=2.0)
+    vanilla = BeaconD(config=CFG, flags=OptimizationFlags.vanilla())
+    slow = vanilla.run_fm_seeding(workload)
+    fast_sys = BeaconD(config=CFG, flags=OptimizationFlags.all_for(
+        "beacon-d", Algorithm.FM_SEEDING))
+    fast = fast_sys.run_fm_seeding(workload)
+    slow_bg = vanilla.root.stats.total("energy_background_nj")
+    fast_bg = fast_sys.root.stats.total("energy_background_nj")
+    assert slow.runtime_cycles > fast.runtime_cycles
+    assert slow_bg > fast_bg
+    assert slow_bg / fast_bg == pytest.approx(
+        slow.runtime_cycles / fast.runtime_cycles, rel=0.01)

@@ -1,0 +1,137 @@
+"""Unit tests for the experiment result dataclasses (no simulation)."""
+
+import pytest
+
+from repro.core.config import Algorithm, OptimizationFlags
+from repro.core.metrics import Report
+from repro.experiments.fig3_idealized import Fig3Result, IdealizedGain
+from repro.experiments.fig12_fm_seeding import SeedingFigureResult
+from repro.experiments.runner import StepResult, SweepResult
+
+
+def report(runtime, energy=100.0, label="r"):
+    return Report(label=label, system="s", algorithm="a", dataset="d",
+                  runtime_cycles=runtime, tck_ns=1.25,
+                  energy_dram_nj=energy * 0.6, energy_comm_nj=energy * 0.35,
+                  energy_compute_nj=energy * 0.05, tasks_completed=1)
+
+
+def sweep(runtimes, ideal=None, baseline=None, cpu=None):
+    steps = []
+    prev = None
+    for i, rt in enumerate(runtimes):
+        step = StepResult(label=f"step{i}", flags=OptimizationFlags(),
+                          report=report(rt))
+        if prev is not None:
+            step.step_speedup = prev / rt
+        prev = rt
+        steps.append(step)
+    return SweepResult(
+        system="beacon-d", algorithm=Algorithm.FM_SEEDING, dataset="Pt",
+        steps=steps,
+        ideal=report(ideal) if ideal else None,
+        baseline=report(baseline) if baseline else None,
+        cpu=report(cpu) if cpu else None,
+    )
+
+
+class TestSweepResult:
+    def test_total_opt_speedup(self):
+        s = sweep([1000, 500, 250])
+        assert s.total_opt_speedup == 4.0
+        assert s.vanilla.runtime_cycles == 1000
+        assert s.full.runtime_cycles == 250
+
+    def test_percent_of_ideal(self):
+        s = sweep([1000, 500], ideal=400)
+        assert s.percent_of_ideal == pytest.approx(0.8)
+        with pytest.raises(ValueError):
+            sweep([100]).percent_of_ideal
+
+    def test_baseline_and_cpu_ratios(self):
+        s = sweep([1000, 100], baseline=400, cpu=50_000)
+        assert s.speedup_vs_baseline() == 4.0
+        assert s.speedup_vs_cpu() == 500.0
+        with pytest.raises(ValueError):
+            sweep([10]).speedup_vs_baseline()
+
+    def test_step_speedups_chain(self):
+        s = sweep([800, 400, 400, 100])
+        speedups = [st.step_speedup for st in s.steps]
+        assert speedups == [1.0, 2.0, 1.0, 4.0]
+
+
+class TestSeedingFigureResult:
+    def _result(self):
+        return SeedingFigureResult(sweeps={
+            "beacon-d": [sweep([1000, 200], ideal=180, baseline=500,
+                               cpu=40_000),
+                         sweep([2000, 500], ideal=450, baseline=1500,
+                               cpu=90_000)],
+            "beacon-s": [sweep([1000, 400], ideal=350, baseline=500,
+                               cpu=40_000)],
+        })
+
+    def test_mean_step_speedup_uses_geomean(self):
+        result = self._result()
+        # step1 speedups: 5.0 and 4.0 -> geomean sqrt(20)
+        assert result.mean_step_speedup("beacon-d", "step1") == pytest.approx(
+            20 ** 0.5)
+
+    def test_mean_ratios(self):
+        result = self._result()
+        assert result.mean_speedup_vs_baseline("beacon-d") == pytest.approx(
+            (2.5 * 3.0) ** 0.5)
+        assert result.mean_percent_of_ideal("beacon-s") == pytest.approx(0.875)
+        assert result.mean_speedup_vs_cpu("beacon-s") == pytest.approx(100.0)
+
+    def test_step_labels(self):
+        assert self._result().step_labels("beacon-d") == ["step0", "step1"]
+
+
+class TestFig3Result:
+    def test_means(self):
+        gains = [
+            IdealizedGain("medal", "fm_seeding", "Pt",
+                          real=report(400, energy=40),
+                          ideal=report(100, energy=10)),
+            IdealizedGain("nest", "kmer_counting", "Hs",
+                          real=report(900, energy=90),
+                          ideal=report(100, energy=10)),
+        ]
+        result = Fig3Result(gains)
+        assert gains[0].speedup == 4.0
+        assert gains[1].energy_gain == 9.0
+        assert result.mean_speedup == pytest.approx(6.0)
+        assert result.mean_energy_gain == pytest.approx(6.0)
+
+
+class TestScalabilityResult:
+    def _points(self, runtimes):
+        from repro.experiments.scalability import ScalingPoint
+
+        return [
+            ScalingPoint(switches=2 ** i, dimms=4 * 2 ** i, pes=32 * 2 ** i,
+                         reads=100, report=report(rt))
+            for i, rt in enumerate(runtimes)
+        ]
+
+    def test_strong_speedup_and_weak_efficiency(self):
+        from repro.experiments.scalability import ScalabilityResult
+
+        result = ScalabilityResult(
+            strong={"beacon-d": self._points([1000, 600, 400])},
+            weak={"beacon-d": self._points([1000, 1050, 1100])},
+        )
+        assert result.strong_speedup("beacon-d") == pytest.approx(2.5)
+        assert result.weak_efficiency("beacon-d") == pytest.approx(1000 / 1100)
+
+
+class TestPrintHelpers:
+    def test_print_sweep_renders(self, capsys):
+        from repro.experiments.runner import print_sweep
+
+        s = sweep([1000, 500], ideal=450, baseline=800, cpu=50_000)
+        print_sweep(s)
+        out = capsys.readouterr().out
+        assert "step0" in out and "of ideal" in out and "vs cpu48" in out

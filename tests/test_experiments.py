@@ -1,0 +1,90 @@
+"""Quick-scale tests of the experiment harness (the figure modules)."""
+
+import pytest
+
+from repro.core.config import Algorithm
+from repro.experiments import ExperimentScale, run_step_sweep, build_system
+from repro.experiments.runner import OptimizationFlags
+from repro.experiments import tables
+
+SCALE = ExperimentScale.quick()
+
+
+class TestExperimentScale:
+    def test_quick_is_smaller_than_bench(self):
+        quick, bench = ExperimentScale.quick(), ExperimentScale.bench()
+        assert quick.genome_scale < bench.genome_scale
+        assert quick.num_datasets <= bench.num_datasets
+
+    def test_config_uses_pe_divisor(self):
+        assert SCALE.config().pes_per_cxlg == 128 // SCALE.pe_divisor
+
+    def test_workload_builders(self):
+        w = SCALE.seeding_workload(SCALE.seeding_datasets()[0])
+        assert len(w.reads) > 0
+        assert len(SCALE.kmer_workload().reads) > 0
+
+
+class TestBuildSystem:
+    def test_known_systems(self):
+        cfg = SCALE.config()
+        flags = OptimizationFlags.vanilla()
+        for name in ("beacon-d", "beacon-s", "medal", "nest"):
+            system = build_system(name, cfg, flags)
+            assert system.variant == name
+
+    def test_unknown_system(self):
+        with pytest.raises(ValueError):
+            build_system("beacon-x", SCALE.config(), OptimizationFlags.vanilla())
+
+
+class TestStepSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        workload = SCALE.seeding_workload(SCALE.seeding_datasets()[0])
+        return run_step_sweep("beacon-d", Algorithm.FM_SEEDING, workload,
+                              SCALE, with_ideal=True, baseline="medal",
+                              with_cpu=True)
+
+    def test_step_labels_and_counts(self, sweep):
+        assert [s.label for s in sweep.steps][0] == "CXL-vanilla"
+        assert len(sweep.steps) == 5
+
+    def test_full_config_is_fastest(self, sweep):
+        assert sweep.full.runtime_cycles <= sweep.vanilla.runtime_cycles
+
+    def test_ideal_bounds_all_steps(self, sweep):
+        assert sweep.ideal.runtime_cycles <= sweep.full.runtime_cycles
+        assert 0 < sweep.percent_of_ideal <= 1.0
+
+    def test_baselines_present(self, sweep):
+        assert sweep.baseline is not None and sweep.cpu is not None
+        assert sweep.speedup_vs_cpu() > sweep.speedup_vs_baseline()
+
+
+class TestFigureModules:
+    def test_fig13_balance_improves(self):
+        from repro.experiments import fig13_coalescing
+
+        result = fig13_coalescing.run(SCALE)
+        assert len(result.with_coalescing) == 16
+        assert result.imbalance_with < result.imbalance_without
+        assert abs(sum(result.with_coalescing) / 16 - 1.0) < 0.05
+
+    def test_fig16_prealignment(self):
+        from repro.experiments import fig16_prealignment
+
+        result = fig16_prealignment.run(SCALE)
+        assert result.outcomes
+        for outcome in result.outcomes:
+            assert outcome.speedup_vs_cpu > 1.0
+            # true sites within the edit budget accepted (a few reads
+            # genuinely exceed the threshold at 1% error rate)
+            assert outcome.accepted >= 0.9 * outcome.true_sites
+
+    def test_tables(self):
+        t1 = tables.run_table1()
+        assert any("BEACON" in row for row in t1.rows)
+        t2 = tables.run_table2()
+        assert t2.beacon_vs_nest["area_ratio"] < 1.0
+        assert t2.beacon_vs_medal["area_ratio"] > 1.0

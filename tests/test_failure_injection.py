@@ -1,0 +1,141 @@
+"""Failure-injection tests: the stack must fail loudly, not wedge."""
+
+import pytest
+
+from repro.core import Algorithm, BeaconConfig, BeaconD, ComputeStep, MemStep, Task
+from repro.core.ndp_module import NdpModule
+from repro.core.task import AccessSpec
+from repro.cxl import CommParams
+from repro.cxl.topology import MemoryPool
+from repro.dram import DimmKind
+from repro.dram.request import AccessKind
+from repro.genomics.workloads import SEEDING_DATASETS, make_seeding_workload
+from repro.memmgmt.regions import RegionMap
+from repro.sim import Engine, SimulationError
+from repro.sim.component import Component
+
+CFG = BeaconConfig().scaled(16)
+
+
+def test_unmapped_address_raises_at_translation():
+    """A task touching an address outside every region must raise a
+    KeyError from the Address Translator, not silently drop the access."""
+    engine = Engine()
+    root = Component(engine, "sys")
+    pool = MemoryPool(engine, "pool", root, CommParams(device_bias=True))
+    pool.fabric.add_host()
+    pool.fabric.add_switch("sw0")
+    pool.add_dimm("d0.0", "sw0", DimmKind.CXLG)
+    module = NdpModule(engine, "ndp", root, node="d0.0", num_pes=1,
+                       pool=pool, region_map=RegionMap())
+
+    def gen():
+        yield MemStep([AccessSpec(addr=0xDEAD, size=8)])
+
+    module.submit_task(Task(algorithm=Algorithm.FM_SEEDING, steps=gen()))
+    with pytest.raises(KeyError):
+        engine.run()
+
+
+def test_deadlocked_simulation_is_detected():
+    """If tasks never finish (operand lost), the runner reports a deadlock
+    instead of returning a bogus report."""
+    system = BeaconD(config=CFG)
+    workload = make_seeding_workload(SEEDING_DATASETS[0], scale=0.02)
+
+    # Sabotage: swallow every memory access so operands never return.
+    system.pool.access = lambda request, src_node: None
+
+    with pytest.raises(SimulationError, match="deadlock"):
+        system.run_fm_seeding(workload)
+
+
+def test_task_generator_exception_propagates():
+    engine = Engine()
+    root = Component(engine, "sys")
+    pool = MemoryPool(engine, "pool", root, CommParams())
+    pool.fabric.add_host()
+    pool.fabric.add_switch("sw0")
+    pool.add_dimm("d0.0", "sw0", DimmKind.CXLG)
+    module = NdpModule(engine, "ndp", root, node="d0.0", num_pes=1,
+                       pool=pool, region_map=RegionMap())
+
+    def gen():
+        yield ComputeStep(4)
+        raise RuntimeError("algorithm bug")
+
+    module.submit_task(Task(algorithm=Algorithm.FM_SEEDING, steps=gen()))
+    with pytest.raises(RuntimeError, match="algorithm bug"):
+        engine.run()
+
+
+def test_bad_step_type_rejected():
+    engine = Engine()
+    root = Component(engine, "sys")
+    pool = MemoryPool(engine, "pool", root, CommParams())
+    pool.fabric.add_host()
+    pool.fabric.add_switch("sw0")
+    pool.add_dimm("d0.0", "sw0", DimmKind.CXLG)
+    module = NdpModule(engine, "ndp", root, node="d0.0", num_pes=1,
+                       pool=pool, region_map=RegionMap())
+
+    def gen():
+        yield "not a step"
+
+    module.submit_task(Task(algorithm=Algorithm.FM_SEEDING, steps=gen()))
+    with pytest.raises(TypeError, match="unknown step"):
+        engine.run()
+
+
+def test_allocation_failure_surfaces_in_runner():
+    """A pool too small for the index fails the framework allocation and
+    the runner reports it as a RuntimeError."""
+    from dataclasses import replace
+
+    from repro.dram.timing import DimmGeometry
+
+    # One-row DIMMs: nothing fits.
+    tiny = replace(CFG, geometry=DimmGeometry())
+    system = BeaconD(config=tiny)
+    for state in (system.allocator.dimm(d) for d in system.allocator.all_dimms()):
+        state.total_rows = 0
+    workload = make_seeding_workload(SEEDING_DATASETS[0], scale=0.02)
+    with pytest.raises(RuntimeError, match="allocation failed"):
+        system.run_fm_seeding(workload)
+
+
+def test_route_to_unknown_node_fails():
+    engine = Engine()
+    root = Component(engine, "sys")
+    pool = MemoryPool(engine, "pool", root, CommParams())
+    pool.fabric.add_host()
+    pool.fabric.add_switch("sw0")
+    with pytest.raises(KeyError):
+        pool.fabric.route("sw0", "ghost")
+
+
+def test_fabric_requires_host_first():
+    engine = Engine()
+    root = Component(engine, "sys")
+    pool = MemoryPool(engine, "pool", root, CommParams())
+    with pytest.raises(RuntimeError, match="add_host"):
+        pool.fabric.add_switch("sw0")
+    with pytest.raises(ValueError, match="unknown parent"):
+        pool.fabric.add_dimm_node("d0", "sw0")
+
+
+def test_atomic_without_engine_fails_loudly():
+    engine = Engine()
+    root = Component(engine, "sys")
+    pool = MemoryPool(engine, "pool", root, CommParams(device_bias=True))
+    pool.fabric.add_host()
+    pool.fabric.add_switch("sw0")
+    pool.add_dimm("d0.0", "sw0", DimmKind.CXLG)
+    pool.add_dimm("d0.1", "sw0", DimmKind.UNMODIFIED_CXL)
+    from repro.dram import ChipInterleaveMapping, DimmGeometry, MemoryRequest
+
+    req = MemoryRequest(addr=0, size=1, kind=AccessKind.ATOMIC_RMW)
+    req.coord = ChipInterleaveMapping(DimmGeometry(), 16).map(0)
+    req.dimm_index = 1
+    with pytest.raises(RuntimeError, match="no atomic engine"):
+        pool.access(req, "d0.0")

@@ -1,0 +1,145 @@
+"""Tests for FASTA/FASTQ I/O and workload generation."""
+
+import pytest
+
+from repro.genomics.fasta import (
+    FastaRecord,
+    FastqRecord,
+    iter_fasta,
+    read_fasta,
+    read_fastq,
+    reads_from_file,
+    write_fasta,
+    write_fastq,
+)
+from repro.genomics.workloads import (
+    KMER_DATASET,
+    SEEDING_DATASETS,
+    dataset_by_name,
+    make_prealign_pairs,
+    make_seeding_workload,
+)
+
+
+class TestFasta:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "x.fa"
+        records = [FastaRecord("chr1", "ACGT" * 50), FastaRecord("chr2", "TTTT")]
+        write_fasta(path, records, width=13)
+        assert read_fasta(path) == records
+
+    def test_streaming_matches_eager(self, tmp_path):
+        path = tmp_path / "x.fa"
+        records = [FastaRecord("a", "ACGTACGT"), FastaRecord("b", "GGCC")]
+        write_fasta(path, records)
+        assert list(iter_fasta(path)) == read_fasta(path)
+
+    def test_header_only_name_token(self, tmp_path):
+        path = tmp_path / "x.fa"
+        path.write_text(">chr1 description here\nACGT\n")
+        assert read_fasta(path) == [FastaRecord("chr1", "ACGT")]
+
+    def test_data_before_header_rejected(self, tmp_path):
+        path = tmp_path / "x.fa"
+        path.write_text("ACGT\n>late\nAC\n")
+        with pytest.raises(ValueError):
+            read_fasta(path)
+
+    def test_invalid_width(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_fasta(tmp_path / "x.fa", [], width=0)
+
+
+class TestFastq:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "x.fq"
+        records = [FastqRecord("r1", "ACGT", "IIII"), FastqRecord("r2", "GG", "##")]
+        write_fastq(path, records)
+        assert read_fastq(path) == records
+
+    def test_length_mismatch_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_fastq(tmp_path / "x.fq", [FastqRecord("r", "ACGT", "II")])
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "x.fq"
+        path.write_text("@r1\nACGT\n+\n")
+        with pytest.raises(ValueError):
+            read_fastq(path)
+
+    def test_sniffing(self, tmp_path):
+        fa = tmp_path / "a.fa"
+        write_fasta(fa, [FastaRecord("x", "ACGT")])
+        fq = tmp_path / "a.fq"
+        write_fastq(fq, [FastqRecord("x", "ACGT", "IIII")])
+        assert reads_from_file(fa) == (["ACGT"], "fasta")
+        assert reads_from_file(fq) == (["ACGT"], "fastq")
+        bad = tmp_path / "a.txt"
+        bad.write_text("nope\n")
+        with pytest.raises(ValueError):
+            reads_from_file(bad)
+
+
+class TestWorkloads:
+    def test_registry(self):
+        assert dataset_by_name("Pt").label == "Pinus taeda"
+        assert dataset_by_name("Hs50x") is KMER_DATASET
+        with pytest.raises(KeyError):
+            dataset_by_name("nope")
+
+    def test_deterministic(self):
+        a = make_seeding_workload(SEEDING_DATASETS[0], scale=0.05)
+        b = make_seeding_workload(SEEDING_DATASETS[0], scale=0.05)
+        assert a.reference == b.reference
+        assert a.reads == b.reads
+
+    def test_scaling(self):
+        small = make_seeding_workload(SEEDING_DATASETS[1], scale=0.05)
+        big = make_seeding_workload(SEEDING_DATASETS[1], scale=0.1)
+        assert len(big.reference) == 2 * len(small.reference)
+        assert len(big.reads) == 2 * len(small.reads)
+
+    def test_read_scale_multiplies_reads_only(self):
+        base = make_seeding_workload(SEEDING_DATASETS[0], scale=0.05)
+        dense = make_seeding_workload(SEEDING_DATASETS[0], scale=0.05,
+                                      read_scale=3.0)
+        assert len(dense.reference) == len(base.reference)
+        assert len(dense.reads) == 3 * len(base.reads)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            make_seeding_workload(SEEDING_DATASETS[0], scale=0)
+        with pytest.raises(ValueError):
+            make_seeding_workload(SEEDING_DATASETS[0], read_scale=0)
+
+    def test_reads_have_spec_length(self):
+        w = make_seeding_workload(SEEDING_DATASETS[0], scale=0.05)
+        assert all(len(r) == w.spec.read_length for r in w.reads)
+        assert len(w.read_origins) == len(w.reads)
+
+
+class TestPrealignPairs:
+    def test_true_sites_flagged_and_near_match(self):
+        w = make_seeding_workload(SEEDING_DATASETS[0], scale=0.05,
+                                  error_rate=0.01)
+        pairs = make_prealign_pairs(w, max_edits=3, candidates_per_read=4)
+        assert len(pairs) == 4 * len(w.reads)
+        true_pairs = [p for p in pairs if p.is_true_site]
+        assert len(true_pairs) == len(w.reads)
+        for pair in true_pairs:
+            matches = sum(1 for a, b in zip(pair.read, pair.window[3:]) if a == b)
+            assert matches > len(pair.read) * 0.9
+
+    def test_window_starts_in_bounds(self):
+        w = make_seeding_workload(SEEDING_DATASETS[0], scale=0.05)
+        for pair in make_prealign_pairs(w, max_edits=3):
+            assert 0 <= pair.window_start
+            assert pair.window_start + len(pair.window) <= len(w.reference)
+            assert w.reference[
+                pair.window_start : pair.window_start + len(pair.window)
+            ] == pair.window
+
+    def test_candidate_validation(self):
+        w = make_seeding_workload(SEEDING_DATASETS[0], scale=0.05)
+        with pytest.raises(ValueError):
+            make_prealign_pairs(w, max_edits=3, candidates_per_read=0)

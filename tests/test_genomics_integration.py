@@ -1,0 +1,94 @@
+"""Cross-module genomics integration tests: the pipeline works functionally
+end to end, independent of the simulator."""
+
+import numpy as np
+import pytest
+
+from repro.genomics.fm_index import FMIndex
+from repro.genomics.hash_index import HashIndex
+from repro.genomics.kmer_counting import SinglePassKmerCounter, exact_counts
+from repro.genomics.prealign import ShoujiFilter, banded_edit_distance
+from repro.genomics.sequence import reverse_complement
+from repro.genomics.workloads import SEEDING_DATASETS, make_seeding_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_seeding_workload(SEEDING_DATASETS[0], scale=0.1,
+                                 error_rate=0.01)
+
+
+class TestSeedingRecall:
+    def test_fm_seeding_finds_true_origin_for_clean_reads(self, workload):
+        fm = FMIndex(workload.reference)
+        hits = 0
+        clean = 0
+        for read, origin in zip(workload.reads, workload.read_origins):
+            for oriented in (read, reverse_complement(read)):
+                if workload.reference[origin:origin + len(read)] == oriented:
+                    clean += 1
+                    seed = fm.seed(oriented, min_seed_length=20)
+                    assert seed is not None
+                    length, top, bot = seed
+                    positions = [int(p) for p in fm.suffix_array[top:bot]]
+                    # The seed is a read *suffix*: it ends at origin + len.
+                    assert any(
+                        p + length == origin + len(read) for p in positions
+                    )
+                    hits += 1
+        assert clean > 0
+        assert hits == clean
+
+    def test_hash_seeding_recall(self, workload):
+        reference = workload.reference
+        k = 13
+        index = HashIndex(reference, k=k, stride=1,
+                          num_buckets=max(64, (len(reference) - k + 1) // 4))
+        recalled = 0
+        considered = 0
+        for read, origin in zip(workload.reads[:50], workload.read_origins[:50]):
+            for oriented in (read, reverse_complement(read)):
+                if workload.reference[origin:origin + len(read)] != oriented:
+                    continue
+                considered += 1
+                found = False
+                for query in index.seed_read(oriented):
+                    if any(abs(loc - origin) <= len(read) for loc in query.locations):
+                        found = True
+                        break
+                recalled += found
+        assert considered > 0
+        assert recalled == considered
+
+
+class TestPipelineConsistency:
+    def test_prealign_agrees_with_banded_edit_distance(self, workload):
+        """Accepted pairs really are near-matches; rejected true-distance-0
+        pairs must not exist (conservativeness at the pipeline level)."""
+        filt = ShoujiFilter(max_edits=3)
+        reference = workload.reference
+        rng = np.random.default_rng(3)
+        for _ in range(30):
+            start = int(rng.integers(0, len(reference) - 110))
+            read = reference[start + 3 : start + 103]
+            window = reference[start : start + 106]
+            result = filt.filter(read, window)
+            distance = banded_edit_distance(read, window[3:103], band=3)
+            if distance == 0:
+                assert result.accepted
+            if not result.accepted:
+                assert distance > 0
+
+    def test_kmer_counts_match_reference_implementation(self, workload):
+        reads = workload.reads[:40]
+        counter = SinglePassKmerCounter(1 << 16, k=15)
+        counter.process(reads)
+        truth = exact_counts(reads, 15)
+        # Spot-check overcount rate is small at this load factor.
+        overcounts = sum(
+            1 for kmer, count in truth.items()
+            if counter.count(kmer) > count
+        )
+        assert overcounts / len(truth) < 0.02
+        assert all(counter.count(k) >= min(v, counter.filter.saturation)
+                   for k, v in truth.items())

@@ -1,0 +1,150 @@
+"""Tests for k-mer utilities and the counting Bloom filter."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.genomics.bloom import CountingBloomFilter
+from repro.genomics.kmer import (
+    canonical_kmer,
+    int_to_kmer,
+    iter_kmers,
+    kmer_hashes,
+    kmer_to_int,
+    mix64,
+)
+from repro.genomics.kmer_counting import exact_counts
+from repro.genomics.sequence import random_genome, reverse_complement
+
+kmers = st.text(alphabet="ACGT", min_size=1, max_size=31)
+
+
+class TestKmerCoding:
+    def test_known_values(self):
+        assert kmer_to_int("A") == 0
+        assert kmer_to_int("T") == 3
+        assert kmer_to_int("AC") == 1
+        assert kmer_to_int("CA") == 4
+
+    @given(kmers)
+    def test_roundtrip(self, kmer):
+        assert int_to_kmer(kmer_to_int(kmer), len(kmer)) == kmer
+
+    def test_invalid_characters(self):
+        with pytest.raises(ValueError):
+            kmer_to_int("ACGN")
+
+    def test_int_to_kmer_range(self):
+        with pytest.raises(ValueError):
+            int_to_kmer(4, 1)
+
+
+class TestCanonical:
+    @given(kmers)
+    def test_canonical_is_min(self, kmer):
+        canon = canonical_kmer(kmer)
+        assert canon == min(kmer, reverse_complement(kmer))
+
+    @given(kmers)
+    def test_strand_independent(self, kmer):
+        assert canonical_kmer(kmer) == canonical_kmer(reverse_complement(kmer))
+
+
+class TestIterKmers:
+    def test_counts_and_order(self):
+        assert list(iter_kmers("ACGTA", 3, canonical=False)) == ["ACG", "CGT", "GTA"]
+
+    def test_short_sequence_yields_nothing(self):
+        assert list(iter_kmers("AC", 5)) == []
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            list(iter_kmers("ACGT", 0))
+
+
+class TestHashes:
+    def test_mix64_is_deterministic_and_spread(self):
+        values = {mix64(i) for i in range(1000)}
+        assert len(values) == 1000
+
+    def test_kmer_hashes_distinct(self):
+        hs = kmer_hashes("ACGTACGTACGT", 4)
+        assert len(set(hs)) == 4
+
+    def test_hash_count_validation(self):
+        with pytest.raises(ValueError):
+            kmer_hashes("ACGT", 0)
+
+    @given(kmers)
+    def test_hashes_strand_independent(self, kmer):
+        assert kmer_hashes(kmer, 3) == kmer_hashes(reverse_complement(kmer), 3)
+
+
+class TestCountingBloomFilter:
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            CountingBloomFilter(0)
+        with pytest.raises(ValueError):
+            CountingBloomFilter(8, num_hashes=0)
+        with pytest.raises(ValueError):
+            CountingBloomFilter(8, counter_bits=0)
+
+    def test_insert_and_count(self):
+        bloom = CountingBloomFilter(1 << 12)
+        for _ in range(3):
+            bloom.insert("ACGTACGTACGTACG")
+        assert bloom.count("ACGTACGTACGTACG") >= 3
+        assert bloom.contains("ACGTACGTACGTACG")
+
+    def test_saturation(self):
+        bloom = CountingBloomFilter(1 << 8, counter_bits=2)
+        for _ in range(10):
+            bloom.insert("ACGT")
+        assert bloom.count("ACGT") == 3  # saturates at 2**2 - 1
+
+    @settings(max_examples=20)
+    @given(st.lists(kmers.filter(lambda s: len(s) == 9), min_size=1, max_size=50))
+    def test_never_undercounts(self, inserted):
+        bloom = CountingBloomFilter(1 << 14)
+        for kmer in inserted:
+            bloom.insert(kmer)
+        truth = exact_counts(inserted, 9)
+        for kmer, count in truth.items():
+            assert bloom.count(kmer) >= count
+
+    def test_merge_equals_union(self):
+        a = CountingBloomFilter(1 << 10)
+        b = CountingBloomFilter(1 << 10)
+        a.insert("ACGTACGTA")
+        b.insert("ACGTACGTA")
+        b.insert("TTTTTTTTT")
+        a.merge(b)
+        assert a.count("ACGTACGTA") >= 2
+        assert a.count("TTTTTTTTT") >= 1
+        assert a.insertions == 3
+
+    def test_merge_geometry_mismatch(self):
+        a = CountingBloomFilter(1 << 10)
+        b = CountingBloomFilter(1 << 9)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_sizing_helper(self):
+        bloom = CountingBloomFilter.for_expected_items(1000, 0.01)
+        assert bloom.num_counters >= 1000
+        assert 1 <= bloom.num_hashes <= 16
+
+    def test_sizing_validation(self):
+        with pytest.raises(ValueError):
+            CountingBloomFilter.for_expected_items(0)
+        with pytest.raises(ValueError):
+            CountingBloomFilter.for_expected_items(10, 1.5)
+
+    def test_size_bytes_packs_counters(self):
+        bloom = CountingBloomFilter(1000, counter_bits=4)
+        assert bloom.size_bytes == 500
+
+    def test_load_factor(self):
+        bloom = CountingBloomFilter(1 << 10)
+        assert bloom.load_factor == 0.0
+        bloom.insert("ACGTACGTA")
+        assert bloom.load_factor > 0.0

@@ -1,0 +1,83 @@
+"""Tests for the single-pass and multi-pass k-mer counting flows."""
+
+import pytest
+
+from repro.genomics.kmer_counting import (
+    MultiPassKmerCounter,
+    SinglePassKmerCounter,
+    exact_counts,
+)
+from repro.genomics.sequence import random_genome
+
+
+def sample_reads(n=30, length=60, seed=5):
+    genome = random_genome(4000, seed=seed)
+    return [genome[i * 37 : i * 37 + length] for i in range(n)]
+
+
+class TestExactCounts:
+    def test_counts_canonical(self):
+        counts = exact_counts(["ACGTA"], 4)
+        # ACGT is its own reverse complement; CGTA canonicalizes to min form.
+        assert sum(counts.values()) == 2
+
+    def test_multiple_reads_accumulate(self):
+        counts = exact_counts(["AAAAA", "AAAAA"], 5)
+        assert counts == {"AAAAA": 2}
+
+
+class TestSinglePass:
+    def test_counts_at_least_truth(self):
+        reads = sample_reads()
+        counter = SinglePassKmerCounter(1 << 15, k=13)
+        counter.process(reads)
+        for kmer, count in exact_counts(reads, 13).items():
+            assert counter.count(kmer) >= count
+
+    def test_trace_yields_every_insertion(self):
+        reads = sample_reads(n=5)
+        counter = SinglePassKmerCounter(1 << 14, k=13)
+        events = list(counter.process_trace(reads))
+        expected = sum(max(0, len(r) - 12) for r in reads)
+        assert len(events) == expected
+        for _kmer, slots in events:
+            assert len(slots) == counter.filter.num_hashes
+            assert all(0 <= s < counter.filter.num_counters for s in slots)
+
+
+class TestMultiPass:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiPassKmerCounter(1 << 10, k=13, num_partitions=0)
+
+    def test_partitioning_is_balanced(self):
+        counter = MultiPassKmerCounter(1 << 10, k=13, num_partitions=4)
+        shards = counter.partition_reads([f"r{i}" for i in range(10)])
+        assert [len(s) for s in shards] == [3, 3, 2, 2]
+
+    def test_requires_merge_before_query(self):
+        counter = MultiPassKmerCounter(1 << 10, k=13, num_partitions=2)
+        with pytest.raises(RuntimeError):
+            counter.pass_two_count("ACGTACGTACGTA")
+
+    def test_counts_at_least_truth(self):
+        reads = sample_reads()
+        counter = MultiPassKmerCounter(1 << 15, k=13, num_partitions=4)
+        counter.run(reads)
+        for kmer, count in exact_counts(reads, 13).items():
+            assert counter.count(kmer) >= count
+
+    def test_matches_single_pass_filter_state(self):
+        """Merging local filters must equal one filter fed everything."""
+        reads = sample_reads()
+        multi = MultiPassKmerCounter(1 << 14, k=13, num_partitions=3)
+        multi.run(reads)
+        single = SinglePassKmerCounter(1 << 14, k=13)
+        single.process(reads)
+        assert (multi.global_filter.counters == single.filter.counters).all()
+
+    def test_flow_accounting(self):
+        counter = MultiPassKmerCounter(1 << 12, k=13, num_partitions=4)
+        assert counter.input_passes == 2
+        counter.run(sample_reads(n=8))
+        assert counter.replicated_bytes == counter.global_filter.size_bytes * 4

@@ -1,0 +1,109 @@
+"""Tests for the Shouji-style pre-alignment filter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.genomics.prealign import (
+    ShoujiFilter,
+    banded_edit_distance,
+    edit_distance,
+)
+from repro.genomics.sequence import mutate, random_genome
+
+dna = st.text(alphabet="ACGT", min_size=8, max_size=60)
+
+
+class TestEditDistanceReference:
+    def test_known_cases(self):
+        assert edit_distance("", "") == 0
+        assert edit_distance("ACGT", "ACGT") == 0
+        assert edit_distance("ACGT", "AGGT") == 1
+        assert edit_distance("ACGT", "CGT") == 1
+        assert edit_distance("ACGT", "") == 4
+
+    @given(dna, dna)
+    def test_symmetry_and_bounds(self, a, b):
+        d = edit_distance(a, b)
+        assert d == edit_distance(b, a)
+        assert abs(len(a) - len(b)) <= d <= max(len(a), len(b))
+
+    @given(dna)
+    def test_identity(self, a):
+        assert edit_distance(a, a) == 0
+
+    @given(dna, dna)
+    def test_banded_agrees_within_band(self, a, b):
+        band = 5
+        true = edit_distance(a, b)
+        banded = banded_edit_distance(a, b, band)
+        if true <= band:
+            assert banded == true
+        else:
+            assert banded == band + 1
+
+    def test_banded_validation(self):
+        with pytest.raises(ValueError):
+            banded_edit_distance("A", "A", -1)
+
+
+class TestShoujiFilter:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShoujiFilter(-1)
+        with pytest.raises(ValueError):
+            ShoujiFilter(2, window_size=0)
+        with pytest.raises(ValueError):
+            ShoujiFilter(2).filter("", "ACGT")
+
+    def test_exact_match_accepted(self):
+        genome = random_genome(500, seed=1)
+        filt = ShoujiFilter(max_edits=3)
+        assert filt.accepts(genome[100:164], genome[97:170])
+
+    def test_zero_edit_threshold(self):
+        filt = ShoujiFilter(max_edits=0)
+        assert filt.accepts("ACGTACGT", "ACGTACGT")
+        assert not filt.accepts("ACGTACGT", "ACGTACGA")
+
+    @settings(max_examples=40)
+    @given(st.integers(0, 10_000), st.integers(0, 3))
+    def test_no_false_negatives_for_substitutions(self, offset, edits):
+        """A pair within the substitution budget is never rejected —
+        the conservativeness guarantee the pipeline relies on."""
+        genome = random_genome(12_000, seed=7)
+        start = offset % (len(genome) - 80)
+        read = genome[start : start + 64]
+        rng = np.random.default_rng(offset)
+        mutated = list(read)
+        for pos in rng.choice(64, size=edits, replace=False):
+            mutated[pos] = {"A": "C", "C": "G", "G": "T", "T": "A"}[mutated[pos]]
+        window = genome[max(0, start - 3) : start + 67]
+        filt = ShoujiFilter(max_edits=3)
+        assert filt.accepts("".join(mutated), window)
+
+    def test_estimated_edits_monotonic_in_errors(self):
+        genome = random_genome(2000, seed=9)
+        read = genome[500:600]
+        filt = ShoujiFilter(max_edits=5)
+        estimates = []
+        for rate in (0.0, 0.05, 0.3):
+            noisy = mutate(read, rate, seed=3)
+            estimates.append(filt.filter(noisy, genome[495:605]).estimated_edits)
+        assert estimates[0] <= estimates[1] <= estimates[2]
+
+    def test_random_window_usually_rejected(self):
+        genome = random_genome(20_000, seed=3)
+        filt = ShoujiFilter(max_edits=3)
+        read = genome[1000:1100]
+        rejections = sum(
+            not filt.accepts(read, genome[5000 + 200 * i : 5106 + 200 * i])
+            for i in range(20)
+        )
+        assert rejections >= 18  # decoys overwhelmingly filtered out
+
+    def test_result_fields(self):
+        filt = ShoujiFilter(max_edits=2)
+        result = filt.filter("ACGTACGT", "ACGTACGTAA")
+        assert result.threshold == 2
+        assert result.accepted == (result.estimated_edits <= 2)

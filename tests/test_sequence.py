@@ -1,0 +1,102 @@
+"""Tests for DNA sequence primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.genomics.sequence import (
+    decode,
+    encode,
+    complement,
+    mutate,
+    random_genome,
+    reverse_complement,
+)
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=200)
+
+
+class TestEncodeDecode:
+    def test_known_encoding(self):
+        assert list(encode("ACGT")) == [0, 1, 2, 3]
+
+    def test_lowercase_accepted(self):
+        assert list(encode("acgt")) == [0, 1, 2, 3]
+
+    def test_invalid_character(self):
+        with pytest.raises(ValueError, match="non-ACGT"):
+            encode("ACGN")
+
+    def test_decode_range_check(self):
+        with pytest.raises(ValueError):
+            decode(np.array([4], dtype=np.uint8))
+
+    @given(dna)
+    def test_roundtrip(self, seq):
+        assert decode(encode(seq)) == seq
+
+
+class TestComplement:
+    def test_bases(self):
+        assert complement("A") == "T"
+        assert complement("g") == "C"
+
+    def test_unknown_base(self):
+        with pytest.raises(ValueError):
+            complement("X")
+
+    @given(dna)
+    def test_reverse_complement_involution(self, seq):
+        assert reverse_complement(reverse_complement(seq)) == seq
+
+    def test_known_revcomp(self):
+        assert reverse_complement("AACGTT") == "AACGTT"
+        assert reverse_complement("ACCT") == "AGGT"
+
+
+class TestRandomGenome:
+    def test_deterministic(self):
+        assert random_genome(500, seed=7) == random_genome(500, seed=7)
+
+    def test_seed_changes_output(self):
+        assert random_genome(500, seed=1) != random_genome(500, seed=2)
+
+    def test_length(self):
+        assert len(random_genome(123, seed=0)) == 123
+        assert random_genome(0, seed=0) == ""
+
+    def test_gc_content_respected(self):
+        genome = random_genome(100_000, seed=3, gc_content=0.3)
+        gc = sum(1 for b in genome if b in "GC") / len(genome)
+        assert 0.27 < gc < 0.33
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            random_genome(-1)
+        with pytest.raises(ValueError):
+            random_genome(10, gc_content=1.5)
+
+
+class TestMutate:
+    def test_zero_rate_identity(self):
+        genome = random_genome(1000, seed=1)
+        assert mutate(genome, 0.0) == genome
+
+    def test_full_rate_changes_every_base(self):
+        genome = random_genome(1000, seed=1)
+        mutated = mutate(genome, 1.0, seed=2)
+        assert all(a != b for a, b in zip(genome, mutated))
+
+    def test_rate_approximate(self):
+        genome = random_genome(50_000, seed=4)
+        mutated = mutate(genome, 0.1, seed=5)
+        diff = sum(1 for a, b in zip(genome, mutated) if a != b) / len(genome)
+        assert 0.08 < diff < 0.12
+
+    def test_deterministic(self):
+        genome = random_genome(1000, seed=1)
+        assert mutate(genome, 0.05, seed=9) == mutate(genome, 0.05, seed=9)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            mutate("ACGT", 1.5)

@@ -1,0 +1,52 @@
+"""Unit tests for the component tree."""
+
+from repro.sim import Engine
+from repro.sim.component import Component
+
+
+def test_root_component_owns_its_scope():
+    engine = Engine()
+    root = Component(engine, "system")
+    assert root.stats.path == "system"
+    assert root.parent is None
+
+
+def test_child_scopes_nest_under_parents():
+    engine = Engine()
+    root = Component(engine, "system")
+    mid = Component(engine, "pool", root)
+    leaf = Component(engine, "dimm0", mid)
+    assert leaf.path == "system.pool.dimm0"
+    assert leaf.stats.parent is mid.stats
+
+
+def test_stats_aggregate_through_component_tree():
+    engine = Engine()
+    root = Component(engine, "system")
+    a = Component(engine, "a", root)
+    b = Component(engine, "b", root)
+    a.stats.add("energy", 3)
+    b.stats.add("energy", 4)
+    assert root.stats.total("energy") == 7
+
+
+def test_now_and_schedule_delegate_to_engine():
+    engine = Engine()
+    comp = Component(engine, "c")
+    hits = []
+    comp.schedule(9, lambda: hits.append(comp.now))
+    engine.run()
+    assert hits == [9]
+
+
+def test_siblings_with_same_name_share_scope():
+    """Two components registering the same child name share the stat scope
+    (the scope tree is keyed by name, mirroring the hardware hierarchy)."""
+    engine = Engine()
+    root = Component(engine, "system")
+    first = Component(engine, "dup", root)
+    second = Component(engine, "dup", root)
+    first.stats.add("x", 1)
+    second.stats.add("x", 2)
+    assert root.stats.total("x") == 3
+    assert first.stats is second.stats

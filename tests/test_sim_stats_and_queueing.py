@@ -1,0 +1,134 @@
+"""Unit tests for the stats tree and bounded queues."""
+
+import pytest
+
+from repro.sim import BoundedQueue, QueueFullError, StatScope
+from repro.sim.stats import Histogram
+
+
+class TestStatScope:
+    def test_counters_add_and_get(self):
+        scope = StatScope("root")
+        scope.add("hits")
+        scope.add("hits", 2)
+        assert scope.get("hits") == 3
+        assert scope.get("misses") == 0
+
+    def test_set_overwrites(self):
+        scope = StatScope("root")
+        scope.add("x", 5)
+        scope.set("x", 1)
+        assert scope.get("x") == 1
+
+    def test_child_scopes_are_cached(self):
+        scope = StatScope("root")
+        assert scope.child("a") is scope.child("a")
+
+    def test_path(self):
+        scope = StatScope("root")
+        assert scope.child("a").child("b").path == "root.a.b"
+
+    def test_total_aggregates_subtree(self):
+        root = StatScope("root")
+        root.add("energy", 1)
+        root.child("a").add("energy", 2)
+        root.child("a").child("b").add("energy", 3)
+        root.child("c").add("energy", 4)
+        assert root.total("energy") == 10
+        assert root.child("a").total("energy") == 5
+
+    def test_histograms(self):
+        scope = StatScope("root")
+        for v in (1, 2, 3, 4):
+            scope.record("lat", v)
+        hist = scope.histogram("lat")
+        assert hist.count == 4
+        assert hist.mean == 2.5
+        assert hist.maximum == 4
+        assert hist.minimum == 1
+
+    def test_as_dict_nests(self):
+        root = StatScope("root")
+        root.add("x", 1)
+        root.child("a").add("y", 2)
+        snapshot = root.as_dict()
+        assert snapshot["x"] == 1
+        assert snapshot["a"]["y"] == 2
+
+
+class TestHistogram:
+    def test_percentile_bounds(self):
+        hist = Histogram()
+        for v in range(100):
+            hist.record(v)
+        assert hist.percentile(0) == 0
+        assert hist.percentile(100) == 99
+        assert 48 <= hist.percentile(50) <= 51
+
+    def test_percentile_validation(self):
+        hist = Histogram()
+        hist.record(1)
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+
+    def test_empty_histogram_summary(self):
+        hist = Histogram()
+        assert hist.mean == 0.0
+        assert hist.percentile(50) == 0.0
+
+
+class TestBoundedQueue:
+    def test_fifo_order(self):
+        q = BoundedQueue("q")
+        for i in range(5):
+            q.push(i)
+        assert [q.pop() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_capacity_enforced(self):
+        q = BoundedQueue("q", capacity=2)
+        q.push(1)
+        q.push(2)
+        assert q.full()
+        with pytest.raises(QueueFullError):
+            q.push(3)
+        assert not q.try_push(3)
+        q.pop()
+        assert q.try_push(3)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            BoundedQueue("q", capacity=0)
+
+    def test_push_notification(self):
+        q = BoundedQueue("q")
+        hits = []
+        q.on_push(lambda: hits.append(len(q)))
+        q.push("a")
+        q.push("b")
+        assert hits == [1, 2]
+
+    def test_peek_and_remove(self):
+        q = BoundedQueue("q")
+        q.push("a")
+        q.push("b")
+        assert q.peek() == "a"
+        q.remove("b")
+        assert len(q) == 1
+        assert q.pop() == "a"
+
+    def test_pop_empty_raises(self):
+        q = BoundedQueue("q")
+        with pytest.raises(IndexError):
+            q.pop()
+        with pytest.raises(IndexError):
+            q.peek()
+
+    def test_occupancy_stats(self):
+        q = BoundedQueue("q")
+        q.push(1)
+        q.push(2)
+        q.pop()
+        q.push(3)
+        assert q.pushes == 3
+        assert q.pops == 1
+        assert q.max_occupancy == 2

@@ -1,0 +1,139 @@
+"""Unit tests for the region accessors and step generators in core.task."""
+
+import pytest
+
+from repro.core.config import Algorithm, PE_COMPUTE_CYCLES
+from repro.core.task import (
+    BloomAccessor,
+    ComputeStep,
+    FmIndexAccessor,
+    HashIndexAccessor,
+    MemStep,
+    ReferenceAccessor,
+    fm_seeding_steps,
+    hash_seeding_steps,
+    kmer_insert_steps,
+    kmer_query_steps,
+)
+from repro.dram.request import AccessKind, DataClass
+from repro.genomics.bloom import CountingBloomFilter
+from repro.genomics.fm_index import FMIndex
+from repro.genomics.hash_index import HashIndex
+from repro.genomics.sequence import random_genome
+from repro.memmgmt.regions import Region, StripedLayout
+
+
+def region(name, base, size):
+    return Region(name=name, base=base, size=size,
+                  data_class=DataClass.GENERIC,
+                  layout=StripedLayout([0]), mappings={})
+
+
+class TestFmAccessorAndSteps:
+    def setup_method(self):
+        self.genome = random_genome(3000, seed=1)
+        self.fm = FMIndex(self.genome)
+        self.region = region("fm", base=1 << 20, size=self.fm.size_bytes)
+        self.accessor = FmIndexAccessor(self.fm, self.region)
+
+    def test_block_addresses_offset_by_region_base(self):
+        assert self.accessor.block_addr(0) == 1 << 20
+        assert self.accessor.block_addr(3) == (1 << 20) + 96
+
+    def test_steps_alternate_compute_and_memory(self):
+        steps = list(fm_seeding_steps(self.accessor, self.genome[100:160]))
+        assert isinstance(steps[0], ComputeStep)
+        assert steps[0].cycles == PE_COMPUTE_CYCLES[Algorithm.FM_SEEDING]
+        assert isinstance(steps[1], MemStep)
+        for step in steps:
+            if isinstance(step, MemStep):
+                for access in step.accesses:
+                    assert access.size == FMIndex.BLOCK_BYTES
+                    assert access.data_class is DataClass.FM_INDEX_BLOCK
+                    assert access.addr >= self.region.base
+
+    def test_step_count_matches_trace(self):
+        read = self.genome[500:560]
+        trace_steps = sum(1 for _ in self.fm.search_trace(read))
+        generated = list(fm_seeding_steps(self.accessor, read))
+        assert len(generated) == 2 * trace_steps
+
+
+class TestHashAccessorAndSteps:
+    def setup_method(self):
+        self.genome = random_genome(2000, seed=2)
+        self.index = HashIndex(self.genome, k=13, stride=1, num_buckets=256)
+        self.directory = region("dir", 0, self.index.directory_bytes)
+        self.locations = region("loc", 1 << 22, self.index.locations_bytes)
+        self.accessor = HashIndexAccessor(self.index, self.directory,
+                                          self.locations)
+
+    def test_header_and_location_addresses(self):
+        assert self.accessor.header_addr(0) == 0
+        assert self.accessor.header_addr(5) == 40
+        assert self.accessor.location_addr(16) == (1 << 22) + 16
+
+    def test_steps_touch_directory_then_locations(self):
+        read = self.genome[100:200]
+        steps = list(hash_seeding_steps(self.accessor, read))
+        mem_steps = [s for s in steps if isinstance(s, MemStep)]
+        header_steps = [
+            s for s in mem_steps
+            if s.accesses[0].data_class is DataClass.HASH_DIRECTORY
+        ]
+        location_steps = [
+            s for s in mem_steps
+            if s.accesses[0].data_class is DataClass.HASH_LOCATIONS
+        ]
+        assert header_steps and location_steps
+        for step in header_steps:
+            assert step.accesses[0].size == 8
+        for step in location_steps:
+            for access in step.accesses:
+                assert self.locations.base <= access.addr < \
+                    self.locations.base + self.index.locations_bytes
+
+
+class TestBloomAccessorAndSteps:
+    def setup_method(self):
+        self.bloom = CountingBloomFilter(1 << 12, num_hashes=4, counter_bits=4)
+        self.region = region("bloom", 1 << 24, self.bloom.size_bytes)
+        self.accessor = BloomAccessor(self.bloom, self.region)
+
+    def test_slot_addressing_packs_counters(self):
+        # Two 4-bit counters per byte.
+        assert self.accessor.slot_addr(0) == 1 << 24
+        assert self.accessor.slot_addr(1) == 1 << 24
+        assert self.accessor.slot_addr(2) == (1 << 24) + 1
+
+    def test_insert_steps_are_atomic_and_update_filter(self):
+        read = random_genome(60, seed=3)
+        steps = list(kmer_insert_steps(self.accessor, read, 15))
+        rmw = [a for s in steps if isinstance(s, MemStep) for a in s.accesses]
+        assert all(a.kind is AccessKind.ATOMIC_RMW for a in rmw)
+        assert len(rmw) == (60 - 15 + 1) * 4
+        assert self.bloom.insertions == 60 - 15 + 1
+
+    def test_query_steps_are_plain_reads(self):
+        read = random_genome(40, seed=4)
+        steps = list(kmer_query_steps(self.accessor, read, 15))
+        reads = [a for s in steps if isinstance(s, MemStep) for a in s.accesses]
+        assert all(a.kind is AccessKind.READ for a in reads)
+        assert self.bloom.insertions == 0  # queries never mutate
+
+
+class TestReferenceAccessor:
+    def test_window_specs_chunking(self):
+        accessor = ReferenceAccessor(region("ref", 4096, 1 << 16))
+        specs = accessor.window_specs(start=0, length=512)  # 128 bytes
+        assert len(specs) == 2
+        assert specs[0].size == 64 and specs[1].size == 64
+        assert specs[0].addr == 4096
+        assert specs[1].addr == 4096 + 64
+
+    def test_partial_tail_chunk(self):
+        accessor = ReferenceAccessor(region("ref", 0, 1 << 16))
+        specs = accessor.window_specs(start=10, length=100)
+        total = sum(s.size for s in specs)
+        assert total == (10 + 100 - 1) // 4 - 10 // 4 + 1
+        assert all(s.data_class is DataClass.REFERENCE_WINDOW for s in specs)

@@ -1,0 +1,78 @@
+"""Tests for the BEACON framework User-Interface (Section V)."""
+
+import pytest
+
+from repro.core.config import BeaconConfig
+from repro.core.ui import APPLICATIONS, BeaconUI, JobRequest
+from repro.genomics.sequence import random_genome
+from repro.genomics.workloads import SEEDING_DATASETS, make_seeding_workload
+
+CFG = BeaconConfig().scaled(16)
+
+
+@pytest.fixture(scope="module")
+def data():
+    workload = make_seeding_workload(SEEDING_DATASETS[0], scale=0.05)
+    return workload.reference, workload.reads, workload.read_origins
+
+
+class TestJobRequest:
+    def test_application_aliases(self):
+        for name in APPLICATIONS:
+            job = JobRequest(application=name, reference="ACGT", reads=["AC"])
+            assert job.algorithm() is APPLICATIONS[name]
+
+    def test_unknown_application(self):
+        job = JobRequest(application="folding", reference="ACGT", reads=["AC"])
+        with pytest.raises(ValueError, match="unknown application"):
+            job.algorithm()
+
+
+class TestBeaconUI:
+    def test_variant_validation(self):
+        with pytest.raises(ValueError):
+            BeaconUI(variant="beacon-x")
+
+    def test_fm_seeding_job(self, data):
+        reference, reads, _origins = data
+        ui = BeaconUI(variant="beacon-d", config=CFG)
+        report = ui.submit(JobRequest("fm-seeding", reference, reads))
+        assert report.tasks_completed == len(reads)
+        assert ui.history == [report]
+
+    def test_kmer_job_exposes_filter(self, data):
+        reference, reads, _origins = data
+        ui = BeaconUI(variant="beacon-s", config=CFG)
+        report = ui.submit(JobRequest(
+            "kmer-counting", reference, reads,
+            parameters={"k": 13, "num_counters": 1 << 14},
+        ))
+        assert report.algorithm == "kmer_counting"
+        assert ui.last_kmer_filter.insertions > 0
+
+    def test_prealignment_needs_origins(self, data):
+        reference, reads, origins = data
+        ui = BeaconUI(variant="beacon-d", config=CFG)
+        with pytest.raises(ValueError, match="read_origins"):
+            ui.submit(JobRequest("pre-alignment", reference, reads))
+        report = ui.submit(JobRequest(
+            "pre-alignment", reference, reads,
+            parameters={"read_origins": origins, "max_edits": 3,
+                        "candidates_per_read": 2},
+        ))
+        assert report.tasks_completed == 2 * len(reads)
+        assert len(ui.last_prealign_results) == 2 * len(reads)
+
+    def test_empty_reads_rejected(self):
+        ui = BeaconUI(config=CFG)
+        with pytest.raises(ValueError, match="at least one read"):
+            ui.submit(JobRequest("fm-seeding", random_genome(500), []))
+
+    def test_multiple_jobs_accumulate_history(self, data):
+        reference, reads, _origins = data
+        ui = BeaconUI(variant="beacon-d", config=CFG)
+        ui.submit(JobRequest("fm-seeding", reference, reads[:5]))
+        ui.submit(JobRequest("hash-seeding", reference, reads[:5]))
+        assert len(ui.history) == 2
+        assert {r.algorithm for r in ui.history} == {
+            "fm_seeding", "hash_seeding"}
