@@ -1,0 +1,25 @@
+# Developer entry points.  Everything runs from the repo root with the
+# in-tree sources (PYTHONPATH=src) so no install step is needed.
+
+PYTHON ?= python
+PYTHONPATH := src
+
+.PHONY: test bench-quick bench lint
+
+## Tier-1: the full unit/integration/property suite.
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+## Perf baseline at quick scale: times every figure, verifies the
+## optimized path is bit-identical to serial/uncached, writes
+## BENCH_results.json.
+bench-quick:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench
+
+## The full pytest-benchmark evaluation (minutes; needs pytest-benchmark).
+bench:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+## Static sanity: byte-compile everything (no third-party linters needed).
+lint:
+	$(PYTHON) -m compileall -q src tests benchmarks examples

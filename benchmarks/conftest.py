@@ -7,13 +7,16 @@ experiment index), times it through pytest-benchmark (single round — each
 and asserts the qualitative claims that define the figure's shape.
 
 Set ``REPRO_BENCH_SCALE=quick`` to smoke the suite in under a minute.
+Set ``REPRO_JOBS=N`` to fan each figure's independent sweep points out
+over N processes (results are identical to a serial run; see
+``repro.experiments.parallel``).
 """
 
 import os
 
 import pytest
 
-from repro.experiments import ExperimentScale
+from repro.experiments import ExperimentScale, ParallelSweepRunner
 
 
 @pytest.fixture(scope="session")
@@ -21,6 +24,12 @@ def scale() -> ExperimentScale:
     if os.environ.get("REPRO_BENCH_SCALE") == "quick":
         return ExperimentScale.quick()
     return ExperimentScale.bench()
+
+
+@pytest.fixture(scope="session")
+def runner() -> ParallelSweepRunner:
+    """Sweep-point fan-out, honouring ``REPRO_JOBS`` (default: serial)."""
+    return ParallelSweepRunner.from_env()
 
 
 def run_once(benchmark, fn):

@@ -13,7 +13,7 @@ from conftest import run_once
 
 from repro.core import BeaconD
 from repro.core.config import Algorithm, BeaconConfig, OptimizationFlags
-from repro.experiments import ExperimentScale
+from repro.experiments import ExperimentScale, SweepJob
 
 
 def _fm_runtime(scale, config, flags):
@@ -22,17 +22,21 @@ def _fm_runtime(scale, config, flags):
     return system.run_fm_seeding(workload)
 
 
-def test_ablation_coalescing_group_size(benchmark, scale):
+def test_ablation_coalescing_group_size(benchmark, scale, runner):
     """Sweep the multi-chip coalescing factor: 1 (MEDAL-style) .. 16
     (lockstep).  The paper fine-tunes this; our default is 8."""
     flags = OptimizationFlags.all_for("beacon-d", Algorithm.FM_SEEDING)
 
     def sweep():
-        results = {}
-        for chips in (1, 2, 4, 8, 16):
-            config = replace(scale.config(), coalesce_chips=chips)
-            results[chips] = _fm_runtime(scale, config, flags).runtime_cycles
-        return results
+        reports = runner.run([
+            SweepJob(
+                key=str(chips), func=_fm_runtime,
+                args=(scale, replace(scale.config(), coalesce_chips=chips),
+                      flags),
+            )
+            for chips in (1, 2, 4, 8, 16)
+        ])
+        return {int(k): r.runtime_cycles for k, r in reports.items()}
 
     results = run_once(benchmark, sweep)
     print("\ncoalescing sweep (cycles):", results)
@@ -86,19 +90,20 @@ def test_ablation_frfcfs_vs_fcfs(benchmark, scale):
     assert fr_hits >= fc_hits
 
 
-def test_ablation_packer_flush_timeout(benchmark, scale):
+def test_ablation_packer_flush_timeout(benchmark, scale, runner):
     """Data Packer flush window sweep: too small wastes flits, too large
     would add latency; the adaptive packer should be insensitive."""
     flags = OptimizationFlags(data_packing=True, memory_access_opt=True)
 
     def sweep():
-        results = {}
+        jobs = []
         for timeout in (2, 8, 32):
             config = scale.config()
             config = replace(config, comm=replace(config.comm,
                                                   flush_timeout=timeout))
-            results[timeout] = _fm_runtime(scale, config, flags).runtime_cycles
-        return results
+            jobs.append(SweepJob(key=str(timeout), func=_fm_runtime,
+                                 args=(scale, config, flags)))
+        return {int(k): r.runtime_cycles for k, r in runner.run(jobs).items()}
 
     results = run_once(benchmark, sweep)
     print("\npacker flush sweep (cycles):", results)
@@ -106,21 +111,27 @@ def test_ablation_packer_flush_timeout(benchmark, scale):
     assert worst <= best * 1.5  # adaptive flushing keeps the knob gentle
 
 
-def test_ablation_near_fraction(benchmark, scale):
+def test_ablation_near_fraction(benchmark, scale, runner):
     """Profile-guided hot placement depth: how much of the FM-index the
     planner pushes onto the CXLG-DIMMs."""
     flags = OptimizationFlags.all_for("beacon-d", Algorithm.FM_SEEDING)
 
     def sweep():
-        results = {}
-        for fraction in (0.1, 0.5, 0.9):
-            config = replace(scale.config(), near_fraction=fraction)
-            report = _fm_runtime(scale, config, flags)
-            results[fraction] = (
-                report.runtime_cycles,
-                report.extra["local_requests"] / max(1, report.mem_requests),
+        reports = runner.run([
+            SweepJob(
+                key=str(fraction), func=_fm_runtime,
+                args=(scale, replace(scale.config(), near_fraction=fraction),
+                      flags),
             )
-        return results
+            for fraction in (0.1, 0.5, 0.9)
+        ])
+        return {
+            float(k): (
+                r.runtime_cycles,
+                r.extra["local_requests"] / max(1, r.mem_requests),
+            )
+            for k, r in reports.items()
+        }
 
     results = run_once(benchmark, sweep)
     print("\nnear-fraction sweep (cycles, local%):", results)

@@ -11,8 +11,8 @@ from conftest import run_once
 from repro.experiments import fig12_fm_seeding
 
 
-def test_fig12_fm_seeding(benchmark, scale):
-    result = run_once(benchmark, lambda: fig12_fm_seeding.main(scale))
+def test_fig12_fm_seeding(benchmark, scale, runner):
+    result = run_once(benchmark, lambda: fig12_fm_seeding.main(scale, runner=runner))
 
     for system in ("beacon-d", "beacon-s"):
         # Every cumulative step is a (near-)improvement on average.

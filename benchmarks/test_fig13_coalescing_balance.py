@@ -9,8 +9,8 @@ from conftest import run_once
 from repro.experiments import fig13_coalescing
 
 
-def test_fig13_chip_balance(benchmark, scale):
-    result = run_once(benchmark, lambda: fig13_coalescing.main(scale))
+def test_fig13_chip_balance(benchmark, scale, runner):
+    result = run_once(benchmark, lambda: fig13_coalescing.main(scale, runner=runner))
     # Coalescing slashes the imbalance (coefficient of variation).
     assert result.imbalance_with < result.imbalance_without / 2
     assert result.imbalance_with < 0.2

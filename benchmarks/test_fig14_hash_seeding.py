@@ -11,8 +11,8 @@ from conftest import run_once
 from repro.experiments import fig14_hash_seeding
 
 
-def test_fig14_hash_seeding(benchmark, scale):
-    result = run_once(benchmark, lambda: fig14_hash_seeding.main(scale))
+def test_fig14_hash_seeding(benchmark, scale, runner):
+    result = run_once(benchmark, lambda: fig14_hash_seeding.main(scale, runner=runner))
 
     for system in ("beacon-d", "beacon-s"):
         for label in result.step_labels(system)[1:]:

@@ -11,8 +11,8 @@ from conftest import run_once
 from repro.experiments import fig15_kmer_counting
 
 
-def test_fig15_kmer_counting(benchmark, scale):
-    result = run_once(benchmark, lambda: fig15_kmer_counting.main(scale))
+def test_fig15_kmer_counting(benchmark, scale, runner):
+    result = run_once(benchmark, lambda: fig15_kmer_counting.main(scale, runner=runner))
 
     for system in ("beacon-d", "beacon-s"):
         sweep = result.sweep(system)

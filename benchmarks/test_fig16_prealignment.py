@@ -10,8 +10,8 @@ from conftest import run_once
 from repro.experiments import fig16_prealignment
 
 
-def test_fig16_prealignment(benchmark, scale):
-    result = run_once(benchmark, lambda: fig16_prealignment.main(scale))
+def test_fig16_prealignment(benchmark, scale, runner):
+    result = run_once(benchmark, lambda: fig16_prealignment.main(scale, runner=runner))
 
     for system in ("beacon-d", "beacon-s"):
         assert result.mean_speedup(system) > (30 if scale.strict else 5)

@@ -10,8 +10,8 @@ from conftest import run_once
 from repro.experiments import fig17_energy_breakdown
 
 
-def test_fig17_energy_breakdown(benchmark, scale):
-    result = run_once(benchmark, lambda: fig17_energy_breakdown.main(scale))
+def test_fig17_energy_breakdown(benchmark, scale, runner):
+    result = run_once(benchmark, lambda: fig17_energy_breakdown.main(scale, runner=runner))
 
     for system in ("beacon-d", "beacon-s"):
         vanilla = result.vanilla_comm_share(system)

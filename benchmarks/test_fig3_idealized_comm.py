@@ -10,8 +10,8 @@ from conftest import run_once
 from repro.experiments import fig3_idealized
 
 
-def test_fig3_idealized_communication(benchmark, scale):
-    result = run_once(benchmark, lambda: fig3_idealized.main(scale))
+def test_fig3_idealized_communication(benchmark, scale, runner):
+    result = run_once(benchmark, lambda: fig3_idealized.main(scale, runner=runner))
     # Communication must be a first-order bottleneck for the baselines:
     # idealizing it buys a substantial factor on both axes.
     assert result.mean_speedup > (1.3 if scale.strict else 1.05)

@@ -10,8 +10,8 @@ from conftest import run_once
 from repro.experiments import scalability
 
 
-def test_scalability(benchmark, scale):
-    result = run_once(benchmark, lambda: scalability.main(scale))
+def test_scalability(benchmark, scale, runner):
+    result = run_once(benchmark, lambda: scalability.main(scale, runner=runner))
 
     for system in ("beacon-d", "beacon-s"):
         # Weak scaling: runtime roughly flat as pool and work grow together.

@@ -10,8 +10,8 @@ from conftest import run_once
 from repro.experiments import summary
 
 
-def test_sec6g_optimization_summary(benchmark, scale):
-    result = run_once(benchmark, lambda: summary.main(scale))
+def test_sec6g_optimization_summary(benchmark, scale, runner):
+    result = run_once(benchmark, lambda: summary.main(scale, runner=runner))
 
     for system in ("beacon-d", "beacon-s"):
         assert result.mean_opt_speedup(system) > (1.5 if scale.strict else 1.0)

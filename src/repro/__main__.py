@@ -5,7 +5,12 @@ Usage::
     python -m repro list                 # what can be regenerated
     python -m repro fig12                # one figure at bench scale
     python -m repro fig15 --quick        # one figure at smoke scale
-    python -m repro all                  # the whole evaluation section
+    python -m repro all --jobs 4         # the whole evaluation, 4 processes
+    python -m repro bench                # perf baseline -> BENCH_results.json
+
+Sweep points within a figure are independent simulations; ``--jobs N`` (or
+the ``REPRO_JOBS`` environment variable) fans them out over N processes
+with results identical to a serial run.
 """
 
 from __future__ import annotations
@@ -14,7 +19,7 @@ import argparse
 import sys
 import time
 
-from repro.experiments import ExperimentScale
+from repro.experiments import ExperimentScale, ParallelSweepRunner
 from repro.experiments import (
     fig3_idealized,
     fig12_fm_seeding,
@@ -29,23 +34,23 @@ from repro.experiments import (
 
 EXPERIMENTS = {
     "fig3": ("idealized communication for prior DDR-DIMM NDP",
-             lambda scale: fig3_idealized.main(scale)),
+             lambda scale, runner: fig3_idealized.main(scale, runner=runner)),
     "fig12": ("FM-index DNA seeding, step-by-step",
-              lambda scale: fig12_fm_seeding.main(scale)),
+              lambda scale, runner: fig12_fm_seeding.main(scale, runner=runner)),
     "fig13": ("per-chip balance from multi-chip coalescing",
-              lambda scale: fig13_coalescing.main(scale)),
+              lambda scale, runner: fig13_coalescing.main(scale, runner=runner)),
     "fig14": ("Hash-index DNA seeding, step-by-step",
-              lambda scale: fig14_hash_seeding.main(scale)),
+              lambda scale, runner: fig14_hash_seeding.main(scale, runner=runner)),
     "fig15": ("k-mer counting, step-by-step",
-              lambda scale: fig15_kmer_counting.main(scale)),
+              lambda scale, runner: fig15_kmer_counting.main(scale, runner=runner)),
     "fig16": ("DNA pre-alignment vs CPU",
-              lambda scale: fig16_prealignment.main(scale)),
+              lambda scale, runner: fig16_prealignment.main(scale, runner=runner)),
     "fig17": ("energy breakdown across the stack",
-              lambda scale: fig17_energy_breakdown.main(scale)),
-    "table1": ("experimental configuration", lambda scale: tables.main()),
-    "table2": ("PE hardware overhead", lambda scale: tables.main()),
+              lambda scale, runner: fig17_energy_breakdown.main(scale, runner=runner)),
+    "table1": ("experimental configuration", lambda scale, runner: tables.main()),
+    "table2": ("PE hardware overhead", lambda scale, runner: tables.main()),
     "sec6g": ("aggregate optimization gains",
-              lambda scale: summary.main(scale)),
+              lambda scale, runner: summary.main(scale, runner=runner)),
 }
 
 
@@ -56,24 +61,46 @@ def main(argv=None) -> int:
         description="Regenerate the BEACON paper's evaluation artifacts.",
     )
     parser.add_argument("experiment",
-                        choices=sorted(EXPERIMENTS) + ["all", "list"],
-                        help="which table/figure to regenerate")
+                        choices=sorted(EXPERIMENTS) + ["all", "list", "bench"],
+                        help="which table/figure to regenerate ('bench' "
+                             "times the quick-scale suite and writes the "
+                             "perf baseline)")
     parser.add_argument("--quick", action="store_true",
                         help="smoke scale (seconds instead of minutes)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="fan independent sweep points out over N "
+                             "processes (default: $REPRO_JOBS or 1)")
+    parser.add_argument("--output", default="BENCH_results.json",
+                        help="bench only: where to write the perf baseline "
+                             "(default: %(default)s)")
+    parser.add_argument("--no-verify", action="store_true",
+                        help="bench only: skip the bit-identical check "
+                             "against the serial/uncached reference")
     args = parser.parse_args(argv)
+    if args.jobs is not None and args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
 
     if args.experiment == "list":
         for name, (description, _run) in sorted(EXPERIMENTS.items()):
             print(f"  {name:8s} {description}")
+        print("  bench    perf baseline: time every figure at quick scale")
         return 0
 
+    if args.experiment == "bench":
+        from repro.perf import run_bench
+
+        run_bench(jobs=args.jobs, verify=not args.no_verify,
+                  output=args.output)
+        return 0
+
+    runner = ParallelSweepRunner(jobs=args.jobs)
     scale = ExperimentScale.quick() if args.quick else ExperimentScale.bench()
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         description, run = EXPERIMENTS[name]
         print(f"\n=== {name}: {description} ===")
         started = time.time()
-        run(scale)
+        run(scale, runner)
         print(f"[{name} took {time.time() - started:.1f}s]")
     return 0
 

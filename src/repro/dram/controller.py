@@ -19,7 +19,9 @@ scheduling decision and the issue).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+import os
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.dram.bank import Bank
 from repro.dram.dimm import Dimm
@@ -28,6 +30,10 @@ from repro.sim.component import Component
 from repro.sim.queueing import BoundedQueue
 
 #: A timing plan: (start, pre_data, transfer, activate, banks, chip_span).
+#: ``start`` is *now-independent*: the earliest cycle the bank/bus state
+#: permits, ignoring the current time; the effective start of an issue is
+#: ``max(now, start)``.  That makes a plan valid for as long as the DIMM's
+#: state epoch is unchanged, which is what the plan cache keys on.
 Plan = Tuple[int, int, int, bool, List[Bank], range]
 
 
@@ -56,8 +62,21 @@ class DimmController(Component):
             f"{name}.reqq", capacity=queue_capacity
         )
         #: Requests waiting for queue space (admitted FIFO as slots free up).
-        self._waiters: List[MemoryRequest] = []
+        self._waiters: Deque[MemoryRequest] = deque()
         self._wake_at: Optional[int] = None
+        #: req_id -> (global epoch, bank epoch, bus-epoch digest, plan).
+        #: Validity is two-tier: an unchanged global epoch (a scheduling
+        #: pass that issued nothing) validates every entry in O(1); after
+        #: an issue, the per-bank/per-bus epochs revalidate entries that do
+        #: not share state with what was issued.
+        #: ``REPRO_DISABLE_PLAN_CACHE=1`` forces the always-recompute path
+        #: (the perf harness uses it to verify bit-identical results).
+        self._plan_cache: Dict[int, Tuple[int, int, int, Plan]] = {}
+        self._plan_cache_enabled = os.environ.get(
+            "REPRO_DISABLE_PLAN_CACHE", ""
+        ).lower() not in ("1", "true", "yes")
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
 
     # -- submission -------------------------------------------------------------
 
@@ -99,7 +118,7 @@ class DimmController(Component):
 
     def _admit_waiters(self) -> None:
         while self._waiters and not self.queue.full():
-            self.queue.push(self._waiters.pop(0))
+            self.queue.push(self._waiters.popleft())
             self.stats.add("accepted", 1)
 
     @property
@@ -133,8 +152,8 @@ class DimmController(Component):
         if self.queue and next_start is not None:
             self._wake(max(1, next_start - self.engine.now))
 
-    def _plan(self, request: MemoryRequest) -> Plan:
-        """Timing plan for a request.
+    def _compute_plan(self, request: MemoryRequest) -> Plan:
+        """Derive the now-independent timing plan for a request.
 
         The command phase may begin while the chip data bus still serves an
         earlier transfer — only the *data windows* serialize on the bus —
@@ -151,7 +170,10 @@ class DimmController(Component):
         get_bank = dimm.bank
         banks = [get_bank(rank, chip, bank_index) for chip in chips]
         pre_data, activate = banks[0].classify(row, timing, is_write)
-        start = self.engine.now
+        # All constraints below are pure maxima over bank/bus state, so the
+        # earliest start relative to any ``now`` is just ``max(now, start)``
+        # — computing from 0 yields a plan reusable across wakeups.
+        start = 0
         chip_free = dimm.chip_free_at
         for chip, bank in zip(chips, banks):
             s = bank.earliest_start(start, activate, timing)
@@ -162,8 +184,43 @@ class DimmController(Component):
                 start = bus
         return start, pre_data, transfer, activate, banks, chips
 
+    def _plan(self, request: MemoryRequest) -> Plan:
+        """Cached timing plan, invalidated when the DIMM's state advances."""
+        if not self._plan_cache_enabled:
+            return self._compute_plan(request)
+        dimm = self.dimm
+        epoch = dimm.state_epoch
+        cached = self._plan_cache.get(request.req_id)
+        if cached is not None:
+            if cached[0] == epoch:
+                self.plan_cache_hits += 1
+                return cached[3]
+            coord = request.coord
+            bank_ep = dimm.bank_epoch(coord.rank, coord.bank)
+            bus_ep = dimm.bus_epoch_sum(
+                coord.rank, coord.first_chip, coord.chips_per_group
+            )
+            if cached[1] == bank_ep and cached[2] == bus_ep:
+                # State advanced elsewhere on the DIMM; this plan's banks
+                # and buses did not move.  Refresh the fast-path stamp.
+                self._plan_cache[request.req_id] = (
+                    epoch, bank_ep, bus_ep, cached[3]
+                )
+                self.plan_cache_hits += 1
+                return cached[3]
+        else:
+            coord = request.coord
+            bank_ep = dimm.bank_epoch(coord.rank, coord.bank)
+            bus_ep = dimm.bus_epoch_sum(
+                coord.rank, coord.first_chip, coord.chips_per_group
+            )
+        plan = self._compute_plan(request)
+        self._plan_cache[request.req_id] = (epoch, bank_ep, bus_ep, plan)
+        self.plan_cache_misses += 1
+        return plan
+
     def _earliest_start(self, request: MemoryRequest) -> int:
-        return self._plan(request)[0]
+        return max(self.engine.now, self._plan(request)[0])
 
     def _pick_ready(self):
         """FR-FCFS pick: ``(request, plan)`` ready now, else the earliest
@@ -197,6 +254,9 @@ class DimmController(Component):
 
     def _issue(self, request: MemoryRequest, plan: Plan) -> None:
         start, pre_data, transfer_cycles, activate, banks, chips = plan
+        if start < self.engine.now:
+            start = self.engine.now  # plan start is now-independent
+        self._plan_cache.pop(request.req_id, None)
         coord = request.coord
         dimm = self.dimm
         timing = dimm.timing
@@ -207,6 +267,7 @@ class DimmController(Component):
                             activate, timing, request.is_write)
             if f > finish:
                 finish = f
+        dimm.note_bank_commit(coord.rank, coord.bank)
         if activate:
             dimm.energy.on_activate(chips=coord.chips_per_group)
         # The chip data bus is occupied only during the transfer window.

@@ -53,6 +53,13 @@ class Dimm(Component):
         self.kind = kind
         self.geometry = geometry
         self.timing = timing
+        #: Monotonic counter bumped whenever any bank or chip-bus state
+        #: advances (an access commits, refresh fires).  The controller keys
+        #: its per-request timing-plan cache on this: while the epoch is
+        #: unchanged, every previously computed plan is still valid.  The
+        #: per-(rank, bank) and per-(rank, chip) epochs below refine it so
+        #: an issue only invalidates plans that actually share state with it.
+        self.state_epoch: int = 0
         # Flat bank array indexed by (rank, chip, bank) — this is the
         # simulator's hottest data structure.
         self._banks_per_rank = geometry.chips_per_rank * geometry.banks
@@ -62,6 +69,12 @@ class Dimm(Component):
         self.chip_counters = ChipAccessCounters(geometry)
         # Per-(rank, chip) data-bus availability, flat.
         self._chip_free_at: List[int] = [0] * (
+            geometry.ranks * geometry.chips_per_rank
+        )
+        # Fine-grained plan-invalidation epochs: per (rank, bank-index) for
+        # command-sequencing state, per (rank, chip) for data-bus state.
+        self._bank_epoch: List[int] = [0] * (geometry.ranks * geometry.banks)
+        self._bus_epoch: List[int] = [0] * (
             geometry.ranks * geometry.chips_per_rank
         )
         self.energy = DramEnergyModel(
@@ -81,7 +94,33 @@ class Dimm(Component):
         return self._chip_free_at[rank * self.geometry.chips_per_rank + chip]
 
     def set_chip_free_at(self, rank: int, chip: int, time: int) -> None:
-        self._chip_free_at[rank * self.geometry.chips_per_rank + chip] = time
+        index = rank * self.geometry.chips_per_rank + chip
+        self._chip_free_at[index] = time
+        self._bus_epoch[index] += 1
+        self.state_epoch += 1
+
+    # -- plan-cache invalidation --------------------------------------------------
+
+    def note_bank_commit(self, rank: int, bank: int) -> None:
+        """An access committed against bank ``bank`` of ``rank`` (any chip
+        group): plans reading that bank index are stale."""
+        self._bank_epoch[rank * self.geometry.banks + bank] += 1
+        self.state_epoch += 1
+
+    def bank_epoch(self, rank: int, bank: int) -> int:
+        return self._bank_epoch[rank * self.geometry.banks + bank]
+
+    def bus_epoch_sum(self, rank: int, first_chip: int, chips: int) -> int:
+        """Monotonic digest of the data-bus state a chip group depends on
+        (strictly increases whenever any covered chip's bus advances)."""
+        base = rank * self.geometry.chips_per_rank + first_chip
+        return sum(self._bus_epoch[base : base + chips])
+
+    def bump_state_epoch(self) -> None:
+        """Invalidate every cached timing plan (refresh moved all banks)."""
+        self.state_epoch += 1
+        self._bank_epoch = [e + 1 for e in self._bank_epoch]
+        self._bus_epoch = [e + 1 for e in self._bus_epoch]
 
     def validate_group(self, chips_per_group: int) -> None:
         """Reject fine-grained access on DIMMs that cannot do it."""

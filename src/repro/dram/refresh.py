@@ -68,6 +68,9 @@ class RefreshEngine:
                 if dimm.chip_free_at(rank, chip) < busy_until:
                     dimm.set_chip_free_at(rank, chip, busy_until)
         self.refreshes += 1
+        # Banks and buses moved without going through the controller's
+        # issue path: cached timing plans are stale.
+        dimm.bump_state_epoch()
         dimm.stats.add("refreshes", 1)
         dimm.stats.add(
             "energy_refresh_nj",

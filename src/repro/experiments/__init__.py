@@ -10,6 +10,11 @@ See DESIGN.md's experiment index for the figure-to-module mapping and
 EXPERIMENTS.md for paper-vs-measured numbers.
 """
 
+from repro.experiments.parallel import (
+    ParallelSweepRunner,
+    SweepJob,
+    resolve_runner,
+)
 from repro.experiments.runner import (
     ExperimentScale,
     StepResult,
@@ -20,8 +25,11 @@ from repro.experiments.runner import (
 
 __all__ = [
     "ExperimentScale",
+    "ParallelSweepRunner",
     "StepResult",
+    "SweepJob",
     "SweepResult",
     "build_system",
+    "resolve_runner",
     "run_step_sweep",
 ]

@@ -15,8 +15,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
+from typing import Optional
+
 from repro.core.config import Algorithm
 from repro.core.metrics import geometric_mean
+from repro.experiments.parallel import (
+    ParallelSweepRunner,
+    SweepJob,
+    resolve_runner,
+)
 from repro.experiments.runner import (
     ExperimentScale,
     SweepResult,
@@ -62,26 +69,34 @@ class SeedingFigureResult:
 
 
 def run(scale: ExperimentScale = ExperimentScale.bench(),
-        algorithm: Algorithm = ALGORITHM) -> SeedingFigureResult:
+        algorithm: Algorithm = ALGORITHM,
+        runner: Optional[ParallelSweepRunner] = None) -> SeedingFigureResult:
     """Execute the per-dataset sweeps for both variants at ``scale``."""
-    sweeps: Dict[str, List[SweepResult]] = {"beacon-d": [], "beacon-s": []}
+    runner = resolve_runner(runner)
+    jobs = []
     for spec in scale.seeding_datasets():
         workload = scale.seeding_workload(spec)
         for system in ("beacon-d", "beacon-s"):
-            sweeps[system].append(
-                run_step_sweep(
-                    system, algorithm, workload, scale,
-                    with_ideal=True, baseline="medal", with_cpu=True,
-                )
-            )
+            jobs.append(SweepJob(
+                key=f"{spec.name}/{system}",
+                func=run_step_sweep,
+                args=(system, algorithm, workload, scale),
+                kwargs={"with_ideal": True, "baseline": "medal",
+                        "with_cpu": True},
+            ))
+    results = runner.run(jobs)
+    sweeps: Dict[str, List[SweepResult]] = {"beacon-d": [], "beacon-s": []}
+    for key, sweep in results.items():
+        sweeps[key.split("/", 1)[1]].append(sweep)
     return SeedingFigureResult(sweeps)
 
 
 def main(scale: ExperimentScale = ExperimentScale.bench(),
          algorithm: Algorithm = ALGORITHM,
-         figure_name: str = "Fig. 12 — FM-index based DNA seeding") -> SeedingFigureResult:
+         figure_name: str = "Fig. 12 — FM-index based DNA seeding",
+         runner: Optional[ParallelSweepRunner] = None) -> SeedingFigureResult:
     """Run the experiment and print the paper-style rows."""
-    result = run(scale, algorithm)
+    result = run(scale, algorithm, runner=runner)
     print(f"\n{figure_name}")
     for system in ("beacon-d", "beacon-s"):
         for sweep in result.sweeps[system]:

@@ -10,10 +10,15 @@ chip counters.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List
+from typing import List, Optional, Tuple
 
 from repro.core import BeaconD
 from repro.core.config import Algorithm, OptimizationFlags
+from repro.experiments.parallel import (
+    ParallelSweepRunner,
+    SweepJob,
+    resolve_runner,
+)
 from repro.experiments.runner import ExperimentScale
 
 
@@ -43,22 +48,30 @@ def _cxlg_chip_profile(system: BeaconD) -> tuple:
     return averaged, mean_imbalance
 
 
-def run(scale: ExperimentScale = ExperimentScale.bench()) -> Fig13Result:
-    """Execute the experiment at ``scale``; returns the result object."""
+def _coalescing_point(scale: ExperimentScale,
+                      coalescing: bool) -> Tuple[List[float], float]:
+    """Sweep-point worker: one full-stack run, returning the chip profile
+    (chip-counter state lives on the system, so it is read in-process)."""
     config = scale.config()
     workload = scale.seeding_workload(scale.seeding_datasets()[0])
     base = OptimizationFlags.all_for("beacon-d", Algorithm.FM_SEEDING)
+    flags = base if coalescing else replace(base, multi_chip_coalescing=False)
+    system = BeaconD(config=config, flags=flags,
+                     label="coalescing" if coalescing else "no-coalescing")
+    system.run_fm_seeding(workload)
+    return _cxlg_chip_profile(system)
 
-    without = BeaconD(config=config,
-                      flags=replace(base, multi_chip_coalescing=False),
-                      label="no-coalescing")
-    without.run_fm_seeding(workload)
-    series_without, imbalance_without = _cxlg_chip_profile(without)
 
-    with_ = BeaconD(config=config, flags=base, label="coalescing")
-    with_.run_fm_seeding(workload)
-    series_with, imbalance_with = _cxlg_chip_profile(with_)
-
+def run(scale: ExperimentScale = ExperimentScale.bench(),
+        runner: Optional[ParallelSweepRunner] = None) -> Fig13Result:
+    """Execute the experiment at ``scale``; returns the result object."""
+    runner = resolve_runner(runner)
+    results = runner.run([
+        SweepJob("without", _coalescing_point, (scale, False)),
+        SweepJob("with", _coalescing_point, (scale, True)),
+    ])
+    series_without, imbalance_without = results["without"]
+    series_with, imbalance_with = results["with"]
     return Fig13Result(
         without_coalescing=series_without,
         with_coalescing=series_with,
@@ -67,9 +80,10 @@ def run(scale: ExperimentScale = ExperimentScale.bench()) -> Fig13Result:
     )
 
 
-def main(scale: ExperimentScale = ExperimentScale.bench()) -> Fig13Result:
+def main(scale: ExperimentScale = ExperimentScale.bench(),
+         runner: Optional[ParallelSweepRunner] = None) -> Fig13Result:
     """Run the experiment and print the paper-style rows."""
-    result = run(scale)
+    result = run(scale, runner=runner)
     print("\nFig. 13 — normalized memory access per DRAM chip (CXLG-DIMMs)")
     print("chip:            " + "".join(f"{c:7d}" for c in range(len(result.without_coalescing))))
     print("w/o coalescing:  " + "".join(f"{v:7.2f}" for v in result.without_coalescing))

@@ -11,23 +11,29 @@ Paper (averages over the five genomes):
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.core.config import Algorithm
 from repro.experiments.fig12_fm_seeding import SeedingFigureResult, run as _run
 from repro.experiments.fig12_fm_seeding import main as _main
+from repro.experiments.parallel import ParallelSweepRunner
 from repro.experiments.runner import ExperimentScale
 
 ALGORITHM = Algorithm.HASH_SEEDING
 
 
-def run(scale: ExperimentScale = ExperimentScale.bench()) -> SeedingFigureResult:
+def run(scale: ExperimentScale = ExperimentScale.bench(),
+        runner: Optional[ParallelSweepRunner] = None) -> SeedingFigureResult:
     """Execute the experiment at ``scale``; returns the result object."""
-    return _run(scale, ALGORITHM)
+    return _run(scale, ALGORITHM, runner=runner)
 
 
-def main(scale: ExperimentScale = ExperimentScale.bench()) -> SeedingFigureResult:
+def main(scale: ExperimentScale = ExperimentScale.bench(),
+         runner: Optional[ParallelSweepRunner] = None) -> SeedingFigureResult:
     """Run the experiment and print the paper-style rows."""
     return _main(scale, ALGORITHM,
-                 figure_name="Fig. 14 — Hash-index based DNA seeding")
+                 figure_name="Fig. 14 — Hash-index based DNA seeding",
+                 runner=runner)
 
 
 if __name__ == "__main__":

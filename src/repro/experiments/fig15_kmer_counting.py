@@ -14,9 +14,14 @@ Paper (human 50x):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.core.config import Algorithm
+from repro.experiments.parallel import (
+    ParallelSweepRunner,
+    SweepJob,
+    resolve_runner,
+)
 from repro.experiments.runner import (
     ExperimentScale,
     SweepResult,
@@ -35,22 +40,28 @@ class Fig15Result:
         return self.sweeps[system]
 
 
-def run(scale: ExperimentScale = ExperimentScale.bench()) -> Fig15Result:
+def run(scale: ExperimentScale = ExperimentScale.bench(),
+        runner: Optional[ParallelSweepRunner] = None) -> Fig15Result:
     """Execute the experiment at ``scale``; returns the result object."""
+    runner = resolve_runner(runner)
     workload = scale.kmer_workload()
-    sweeps: Dict[str, SweepResult] = {}
-    for system in ("beacon-d", "beacon-s"):
-        sweeps[system] = run_step_sweep(
-            system, ALGORITHM, workload, scale,
-            with_ideal=True, baseline="nest", with_cpu=True,
-            k=scale.kmer_k, num_counters=scale.num_counters,
+    sweeps: Dict[str, SweepResult] = runner.run([
+        SweepJob(
+            key=system,
+            func=run_step_sweep,
+            args=(system, ALGORITHM, workload, scale),
+            kwargs={"with_ideal": True, "baseline": "nest", "with_cpu": True,
+                    "k": scale.kmer_k, "num_counters": scale.num_counters},
         )
+        for system in ("beacon-d", "beacon-s")
+    ])
     return Fig15Result(sweeps)
 
 
-def main(scale: ExperimentScale = ExperimentScale.bench()) -> Fig15Result:
+def main(scale: ExperimentScale = ExperimentScale.bench(),
+         runner: Optional[ParallelSweepRunner] = None) -> Fig15Result:
     """Run the experiment and print the paper-style rows."""
-    result = run(scale)
+    result = run(scale, runner=runner)
     print("\nFig. 15 — k-mer counting (human 50x stand-in)")
     for system, sweep in result.sweeps.items():
         print_sweep(sweep)

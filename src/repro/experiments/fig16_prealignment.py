@@ -10,12 +10,18 @@ figure is CPU-relative only; we additionally verify the filter's quality
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.baselines import CpuModel
 from repro.core.config import Algorithm, OptimizationFlags
 from repro.core.metrics import Report, geometric_mean
+from repro.experiments.parallel import (
+    ParallelSweepRunner,
+    SweepJob,
+    resolve_runner,
+)
 from repro.experiments.runner import ExperimentScale, build_system
+from repro.genomics.workloads import DatasetSpec
 
 
 @dataclass
@@ -52,34 +58,50 @@ class Fig16Result:
         )
 
 
-def run(scale: ExperimentScale = ExperimentScale.bench()) -> Fig16Result:
-    """Execute the experiment at ``scale``; returns the result object."""
+def _prealign_point(scale: ExperimentScale,
+                    spec: DatasetSpec) -> List[PrealignOutcome]:
+    """Sweep-point worker: CPU baseline plus both BEACON variants for one
+    dataset (the filter verdicts live on the system, so they are counted
+    in-process)."""
     config = scale.config()
-    cpu = CpuModel()
+    workload = scale.prealign_workload(spec)
+    cpu_report = CpuModel().run_prealignment(workload, max_edits=scale.max_edits)
     outcomes: List[PrealignOutcome] = []
-    for spec in scale.seeding_datasets():
-        workload = scale.prealign_workload(spec)
-        cpu_report = cpu.run_prealignment(workload, max_edits=scale.max_edits)
-        for system in ("beacon-d", "beacon-s"):
-            flags = OptimizationFlags.all_for(system, Algorithm.PREALIGNMENT)
-            sys_ = build_system(system, config, flags)
-            report = sys_.run_prealignment(workload, max_edits=scale.max_edits)
-            results = sys_.prealign_results
-            accepted = sum(1 for r in results if r.accepted)
-            outcomes.append(
-                PrealignOutcome(
-                    system=system, dataset=spec.name, report=report,
-                    cpu=cpu_report, accepted=accepted,
-                    rejected=len(results) - accepted,
-                    true_sites=len(workload.reads),
-                )
+    for system in ("beacon-d", "beacon-s"):
+        flags = OptimizationFlags.all_for(system, Algorithm.PREALIGNMENT)
+        sys_ = build_system(system, config, flags)
+        report = sys_.run_prealignment(workload, max_edits=scale.max_edits)
+        results = sys_.prealign_results
+        accepted = sum(1 for r in results if r.accepted)
+        outcomes.append(
+            PrealignOutcome(
+                system=system, dataset=spec.name, report=report,
+                cpu=cpu_report, accepted=accepted,
+                rejected=len(results) - accepted,
+                true_sites=len(workload.reads),
             )
+        )
+    return outcomes
+
+
+def run(scale: ExperimentScale = ExperimentScale.bench(),
+        runner: Optional[ParallelSweepRunner] = None) -> Fig16Result:
+    """Execute the experiment at ``scale``; returns the result object."""
+    runner = resolve_runner(runner)
+    per_spec = runner.run_values([
+        SweepJob(key=spec.name, func=_prealign_point, args=(scale, spec))
+        for spec in scale.seeding_datasets()
+    ])
+    outcomes: List[PrealignOutcome] = []
+    for spec_outcomes in per_spec:
+        outcomes.extend(spec_outcomes)
     return Fig16Result(outcomes)
 
 
-def main(scale: ExperimentScale = ExperimentScale.bench()) -> Fig16Result:
+def main(scale: ExperimentScale = ExperimentScale.bench(),
+         runner: Optional[ParallelSweepRunner] = None) -> Fig16Result:
     """Run the experiment and print the paper-style rows."""
-    result = run(scale)
+    result = run(scale, runner=runner)
     print("\nFig. 16 — DNA pre-alignment (vs 48-thread CPU / Shouji)")
     for o in result.outcomes:
         print(f"  {o.system:9s} {o.dataset:4s} x{o.speedup_vs_cpu:8.1f} perf "

@@ -10,10 +10,15 @@ communication / DRAM / compute shares per step.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import Algorithm
 from repro.core.metrics import geometric_mean
+from repro.experiments.parallel import (
+    ParallelSweepRunner,
+    SweepJob,
+    resolve_runner,
+)
 from repro.experiments.runner import ExperimentScale, run_step_sweep
 
 
@@ -44,8 +49,26 @@ class Fig17Result:
         return max(s.compute for s in self.shares[system])
 
 
-def run(scale: ExperimentScale = ExperimentScale.bench()) -> Fig17Result:
+def run(scale: ExperimentScale = ExperimentScale.bench(),
+        runner: Optional[ParallelSweepRunner] = None) -> Fig17Result:
     """Average the per-step breakdown across the three sweep algorithms."""
+    runner = resolve_runner(runner)
+    workloads = [
+        (Algorithm.FM_SEEDING,
+         scale.seeding_workload(scale.seeding_datasets()[0]), {}),
+        (Algorithm.KMER_COUNTING, scale.kmer_workload(),
+         {"k": scale.kmer_k, "num_counters": scale.num_counters}),
+    ]
+    sweeps = runner.run([
+        SweepJob(
+            key=f"{system}/{algorithm.value}",
+            func=run_step_sweep,
+            args=(system, algorithm, workload, scale),
+            kwargs={"with_ideal": False, **kwargs},
+        )
+        for system in ("beacon-d", "beacon-s")
+        for algorithm, workload, kwargs in workloads
+    ])
     shares: Dict[str, List[EnergyShare]] = {}
     vanilla_comm: Dict[str, float] = {}
     final_comm: Dict[str, float] = {}
@@ -54,15 +77,8 @@ def run(scale: ExperimentScale = ExperimentScale.bench()) -> Fig17Result:
         order: List[str] = []
         first_shares: List[float] = []
         last_shares: List[float] = []
-        workloads = [
-            (Algorithm.FM_SEEDING,
-             scale.seeding_workload(scale.seeding_datasets()[0]), {}),
-            (Algorithm.KMER_COUNTING, scale.kmer_workload(),
-             {"k": scale.kmer_k, "num_counters": scale.num_counters}),
-        ]
-        for algorithm, workload, kwargs in workloads:
-            sweep = run_step_sweep(system, algorithm, workload, scale,
-                                   with_ideal=False, **kwargs)
+        for algorithm, _workload, _kwargs in workloads:
+            sweep = sweeps[f"{system}/{algorithm.value}"]
             first_shares.append(sweep.vanilla.comm_energy_fraction)
             last_shares.append(sweep.full.comm_energy_fraction)
             for step in sweep.steps:
@@ -91,9 +107,10 @@ def run(scale: ExperimentScale = ExperimentScale.bench()) -> Fig17Result:
     return Fig17Result(shares, vanilla_comm, final_comm)
 
 
-def main(scale: ExperimentScale = ExperimentScale.bench()) -> Fig17Result:
+def main(scale: ExperimentScale = ExperimentScale.bench(),
+         runner: Optional[ParallelSweepRunner] = None) -> Fig17Result:
     """Run the experiment and print the paper-style rows."""
-    result = run(scale)
+    result = run(scale, runner=runner)
     print("\nFig. 17 — energy breakdown (communication / DRAM / compute)")
     for system, steps in result.shares.items():
         print(f"  == {system} ==")

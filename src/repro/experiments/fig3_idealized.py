@@ -10,11 +10,16 @@ NEST models.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 from repro.baselines import Medal, Nest
 from repro.core.config import Algorithm
 from repro.core.metrics import Report, geometric_mean
+from repro.experiments.parallel import (
+    ParallelSweepRunner,
+    SweepJob,
+    resolve_runner,
+)
 from repro.experiments.runner import ExperimentScale
 
 
@@ -50,37 +55,57 @@ class Fig3Result:
         return geometric_mean(g.energy_gain for g in self.gains)
 
 
-def run(scale: ExperimentScale = ExperimentScale.bench()) -> Fig3Result:
+def _real_ideal_pair(baseline: str, method: str, config, workload,
+                     run_kwargs: Dict) -> Tuple[Report, Report]:
+    """Sweep-point worker: one baseline run plus its idealized twin."""
+    cls = {"medal": Medal, "nest": Nest}[baseline]
+    real = getattr(cls(config=config), method)(workload, **run_kwargs)
+    ideal = getattr(cls(config=config.idealized()), method)(
+        workload, **run_kwargs
+    )
+    return real, ideal
+
+
+def run(scale: ExperimentScale = ExperimentScale.bench(),
+        runner: Optional[ParallelSweepRunner] = None) -> Fig3Result:
     """Execute the experiment at ``scale``; returns the result object."""
+    runner = resolve_runner(runner)
     config = scale.config()
-    gains: List[IdealizedGain] = []
+    jobs: List[SweepJob] = []
+    labels: List[Tuple[str, str, str]] = []  # parallel to jobs
     for spec in scale.seeding_datasets():
         workload = scale.seeding_workload(spec)
-        for algorithm, runner in (
+        for algorithm, method in (
             (Algorithm.FM_SEEDING, "run_fm_seeding"),
             (Algorithm.HASH_SEEDING, "run_hash_seeding"),
         ):
-            real = getattr(Medal(config=config), runner)(workload)
-            ideal = getattr(Medal(config=config.idealized()), runner)(workload)
-            gains.append(IdealizedGain("medal", algorithm.value, spec.name,
-                                       real, ideal))
+            jobs.append(SweepJob(
+                key=f"medal/{algorithm.value}/{spec.name}",
+                func=_real_ideal_pair,
+                args=("medal", method, config, workload, {}),
+            ))
+            labels.append(("medal", algorithm.value, spec.name))
     kmer = scale.kmer_workload()
-    from repro.core.config import Algorithm as _Alg
-    config = scale.config_for(_Alg.KMER_COUNTING)
-    real = Nest(config=config).run_kmer_counting(
-        kmer, k=scale.kmer_k, num_counters=scale.num_counters
-    )
-    ideal = Nest(config=config.idealized()).run_kmer_counting(
-        kmer, k=scale.kmer_k, num_counters=scale.num_counters
-    )
-    gains.append(IdealizedGain("nest", Algorithm.KMER_COUNTING.value,
-                               kmer.name, real, ideal))
+    kmer_config = scale.config_for(Algorithm.KMER_COUNTING)
+    jobs.append(SweepJob(
+        key=f"nest/{Algorithm.KMER_COUNTING.value}/{kmer.name}",
+        func=_real_ideal_pair,
+        args=("nest", "run_kmer_counting", kmer_config, kmer,
+              {"k": scale.kmer_k, "num_counters": scale.num_counters}),
+    ))
+    labels.append(("nest", Algorithm.KMER_COUNTING.value, kmer.name))
+    results = runner.run_values(jobs)
+    gains = [
+        IdealizedGain(system, algorithm, dataset, real, ideal)
+        for (system, algorithm, dataset), (real, ideal) in zip(labels, results)
+    ]
     return Fig3Result(gains)
 
 
-def main(scale: ExperimentScale = ExperimentScale.bench()) -> Fig3Result:
+def main(scale: ExperimentScale = ExperimentScale.bench(),
+         runner: Optional[ParallelSweepRunner] = None) -> Fig3Result:
     """Run the experiment and print the paper-style rows."""
-    result = run(scale)
+    result = run(scale, runner=runner)
     print("\nFig. 3 — prior DDR-DIMM accelerators with idealized communication")
     print(f"{'system':8s} {'algorithm':16s} {'dataset':8s} "
           f"{'perf gain':>10s} {'energy gain':>12s}")

@@ -1,0 +1,141 @@
+"""Parallel experiment fan-out.
+
+Every figure of the evaluation replays dozens of *fully independent*
+``(system, dataset, optimization-step)`` sweep points: each one builds its
+own :class:`~repro.sim.engine.Engine`, its own system instance, and its own
+workload, so nothing is shared and the points can run in separate
+processes.  :class:`ParallelSweepRunner` fans a list of picklable
+:class:`SweepJob` specs out over a :class:`concurrent.futures.
+ProcessPoolExecutor` and returns the results keyed and ordered exactly as
+submitted, which keeps every aggregate (geomeans, step tables) bit-identical
+to a serial run.
+
+Job count resolution, in priority order: the explicit ``jobs`` argument,
+the ``REPRO_JOBS`` environment variable, else 1 (serial).  ``jobs=1`` never
+touches multiprocessing, and a pool that fails to spawn (sandboxes,
+restricted environments) degrades gracefully to the serial path.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One independent sweep point.
+
+    ``func`` must be picklable by reference (a module-level callable) and
+    ``args``/``kwargs`` must be picklable values; the experiment layer only
+    ever ships dataclasses (scales, specs, workloads, configs), which all
+    qualify.  ``key`` identifies the result and must be unique per batch.
+    """
+
+    key: str
+    func: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+    def execute(self) -> Any:
+        return self.func(*self.args, **dict(self.kwargs))
+
+
+def _execute_job(job: SweepJob) -> Any:
+    """Worker entry point (module-level so the pool can pickle it)."""
+    return job.execute()
+
+
+class ParallelSweepRunner:
+    """Run batches of independent sweep jobs, serially or on a process pool.
+
+    >>> runner = ParallelSweepRunner(jobs=4)
+    >>> results = runner.run([SweepJob("a", func, (1,)), SweepJob("b", func, (2,))])
+    >>> list(results)                   # submission order, not completion order
+    ['a', 'b']
+    """
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        if jobs is None:
+            jobs = self._jobs_from_env()
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        #: Set after each batch: whether it actually ran on a pool.
+        self.last_run_parallel = False
+
+    @staticmethod
+    def _jobs_from_env() -> int:
+        raw = os.environ.get("REPRO_JOBS", "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            warnings.warn(f"ignoring non-integer REPRO_JOBS={raw!r}")
+            return 1
+        return max(1, jobs)
+
+    @classmethod
+    def from_env(cls) -> "ParallelSweepRunner":
+        """Runner configured from ``REPRO_JOBS`` (default: serial)."""
+        return cls()
+
+    @property
+    def parallel(self) -> bool:
+        return self.jobs > 1
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, jobs: Sequence[SweepJob]) -> Dict[str, Any]:
+        """Execute every job; returns ``{key: result}`` in submission order.
+
+        Results are gathered by submission index regardless of completion
+        order, so downstream aggregation sees the exact sequence a serial
+        loop would have produced.  Worker exceptions propagate.
+        """
+        jobs = list(jobs)
+        keys = [job.key for job in jobs]
+        if len(set(keys)) != len(keys):
+            dupes = sorted({k for k in keys if keys.count(k) > 1})
+            raise ValueError(f"duplicate sweep job keys: {dupes}")
+        if self.jobs == 1 or len(jobs) <= 1:
+            return self._run_serial(jobs)
+        try:
+            return self._run_pool(jobs)
+        except (OSError, ValueError, pickle.PicklingError, AttributeError,
+                ImportError, BrokenProcessPool) as exc:
+            # Pool could not spawn or the specs would not ship; fall back
+            # rather than failing the whole evaluation.
+            warnings.warn(
+                f"parallel sweep fell back to serial execution: {exc!r}"
+            )
+            return self._run_serial(jobs)
+
+    def run_values(self, jobs: Sequence[SweepJob]) -> List[Any]:
+        """Like :meth:`run`, returning just the results in submission order."""
+        return list(self.run(jobs).values())
+
+    def _run_serial(self, jobs: Sequence[SweepJob]) -> Dict[str, Any]:
+        self.last_run_parallel = False
+        return {job.key: job.execute() for job in jobs}
+
+    def _run_pool(self, jobs: Sequence[SweepJob]) -> Dict[str, Any]:
+        workers = min(self.jobs, len(jobs))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_execute_job, job) for job in jobs]
+            results = {job.key: f.result() for job, f in zip(jobs, futures)}
+        self.last_run_parallel = True
+        return results
+
+
+def resolve_runner(
+    runner: Optional[ParallelSweepRunner] = None,
+) -> ParallelSweepRunner:
+    """The figure modules' default: passed-in runner, else ``REPRO_JOBS``."""
+    return runner if runner is not None else ParallelSweepRunner.from_env()

@@ -14,10 +14,15 @@ Both run the full-optimization BEACON-D and BEACON-S configurations.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import Algorithm, BeaconConfig, OptimizationFlags
 from repro.core.metrics import Report
+from repro.experiments.parallel import (
+    ParallelSweepRunner,
+    SweepJob,
+    resolve_runner,
+)
 from repro.experiments.runner import ExperimentScale, build_system
 from repro.genomics.workloads import make_seeding_workload
 
@@ -72,26 +77,41 @@ def _run_point(system: str, scale: ExperimentScale, switches: int,
                         reads=len(workload.reads), report=report)
 
 
-def run(scale: ExperimentScale = ExperimentScale.bench()) -> ScalabilityResult:
+def run(scale: ExperimentScale = ExperimentScale.bench(),
+        runner: Optional[ParallelSweepRunner] = None) -> ScalabilityResult:
     """Execute the experiment at ``scale``; returns the result object."""
+    runner = resolve_runner(runner)
+    base_reads = scale.read_scale
+    jobs = []
+    for system in ("beacon-d", "beacon-s"):
+        for sw, d in POOL_SIZES:
+            jobs.append(SweepJob(
+                key=f"strong/{system}/{sw}x{d}",
+                func=_run_point, args=(system, scale, sw, d, base_reads),
+            ))
+            jobs.append(SweepJob(
+                key=f"weak/{system}/{sw}x{d}",
+                func=_run_point,
+                args=(system, scale, sw, d,
+                      base_reads * sw / POOL_SIZES[0][0]),
+            ))
+    results = runner.run(jobs)
     strong: Dict[str, List[ScalingPoint]] = {}
     weak: Dict[str, List[ScalingPoint]] = {}
-    base_reads = scale.read_scale
     for system in ("beacon-d", "beacon-s"):
         strong[system] = [
-            _run_point(system, scale, sw, d, base_reads)
-            for sw, d in POOL_SIZES
+            results[f"strong/{system}/{sw}x{d}"] for sw, d in POOL_SIZES
         ]
         weak[system] = [
-            _run_point(system, scale, sw, d, base_reads * sw / POOL_SIZES[0][0])
-            for sw, d in POOL_SIZES
+            results[f"weak/{system}/{sw}x{d}"] for sw, d in POOL_SIZES
         ]
     return ScalabilityResult(strong=strong, weak=weak)
 
 
-def main(scale: ExperimentScale = ExperimentScale.bench()) -> ScalabilityResult:
+def main(scale: ExperimentScale = ExperimentScale.bench(),
+         runner: Optional[ParallelSweepRunner] = None) -> ScalabilityResult:
     """Run the experiment and print the paper-style rows."""
-    result = run(scale)
+    result = run(scale, runner=runner)
     print("\nScalability (extension study): FM seeding, full optimizations")
     for mode, series in (("strong", result.strong), ("weak", result.weak)):
         print(f"  == {mode} scaling ==")

@@ -8,10 +8,15 @@ performance and 3.70x energy efficiency (communication energy share
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.core.config import Algorithm
 from repro.core.metrics import geometric_mean
+from repro.experiments.parallel import (
+    ParallelSweepRunner,
+    SweepJob,
+    resolve_runner,
+)
 from repro.experiments.runner import ExperimentScale, SweepResult, run_step_sweep
 
 
@@ -34,27 +39,41 @@ class SummaryResult:
         return sum(shares) / len(shares)
 
 
-def run(scale: ExperimentScale = ExperimentScale.bench()) -> SummaryResult:
+def run(scale: ExperimentScale = ExperimentScale.bench(),
+        runner: Optional[ParallelSweepRunner] = None) -> SummaryResult:
     """Execute the experiment at ``scale``; returns the result object."""
+    runner = resolve_runner(runner)
     seeding = scale.seeding_workload(scale.seeding_datasets()[0])
     kmer = scale.kmer_workload()
+    points = [
+        (Algorithm.FM_SEEDING, seeding, {}),
+        (Algorithm.HASH_SEEDING, seeding, {}),
+        (Algorithm.KMER_COUNTING, kmer,
+         {"k": scale.kmer_k, "num_counters": scale.num_counters}),
+    ]
+    results = runner.run([
+        SweepJob(
+            key=f"{system}/{algorithm.value}",
+            func=run_step_sweep,
+            args=(system, algorithm, workload, scale),
+            kwargs={"with_ideal": False, **kwargs},
+        )
+        for system in ("beacon-d", "beacon-s")
+        for algorithm, workload, kwargs in points
+    ])
     sweeps: Dict[str, List[SweepResult]] = {}
     for system in ("beacon-d", "beacon-s"):
         sweeps[system] = [
-            run_step_sweep(system, Algorithm.FM_SEEDING, seeding, scale,
-                           with_ideal=False),
-            run_step_sweep(system, Algorithm.HASH_SEEDING, seeding, scale,
-                           with_ideal=False),
-            run_step_sweep(system, Algorithm.KMER_COUNTING, kmer, scale,
-                           with_ideal=False, k=scale.kmer_k,
-                           num_counters=scale.num_counters),
+            results[f"{system}/{algorithm.value}"]
+            for algorithm, _workload, _kwargs in points
         ]
     return SummaryResult(sweeps)
 
 
-def main(scale: ExperimentScale = ExperimentScale.bench()) -> SummaryResult:
+def main(scale: ExperimentScale = ExperimentScale.bench(),
+         runner: Optional[ParallelSweepRunner] = None) -> SummaryResult:
     """Run the experiment and print the paper-style rows."""
-    result = run(scale)
+    result = run(scale, runner=runner)
     print("\nSection VI-G — aggregate optimization gains")
     for system in ("beacon-d", "beacon-s"):
         print(f"  {system}: x{result.mean_opt_speedup(system):.2f} perf, "

@@ -1,0 +1,25 @@
+"""Performance harness: timed figure runs and the perf-regression baseline.
+
+``python -m repro bench`` times every figure at quick scale, verifies the
+simulated results are bit-identical to the serial/uncached scheduling path,
+and writes ``BENCH_results.json`` — the wall-clock/events-per-second
+trajectory that future changes are judged against.
+"""
+
+from repro.perf.harness import (
+    BENCH_SCHEMA,
+    BenchMismatchError,
+    FigureBenchResult,
+    bench_figures,
+    fingerprint,
+    run_bench,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchMismatchError",
+    "FigureBenchResult",
+    "bench_figures",
+    "fingerprint",
+    "run_bench",
+]

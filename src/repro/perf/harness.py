@@ -1,0 +1,248 @@
+"""Timed figure campaigns + bit-identical verification + BENCH baseline.
+
+Each benched figure is executed twice at quick scale:
+
+1. a *timed* run with the configured job count and the controller's timing
+   plan cache enabled (the production path), and
+2. a *reference* run, serial and with ``REPRO_DISABLE_PLAN_CACHE=1``
+   (the always-recompute path),
+
+and the two runs' :class:`~repro.core.metrics.Report` fingerprints —
+cycle counts, energy components, task counts — must match exactly.  The
+optimizations are pure scheduling-work elision; any divergence is a bug,
+so the harness hard-asserts rather than warning.
+
+``BENCH_results.json`` schema (``repro-bench/1``)::
+
+    {
+      "schema": "repro-bench/1",
+      "created_unix": <float, seconds since epoch>,
+      "scale": "quick",
+      "jobs": <int>,
+      "figures": {
+        "<figure>": {
+          "wall_s": <float>,          # timed-run wall clock
+          "events": <int>,            # simulation events executed
+          "events_per_sec": <float>,  # events / wall_s (0 when jobs > 1:
+                                      # events then execute in workers)
+          "verified_identical": <bool or null>  # null = verify skipped
+        }, ...
+      },
+      "total_wall_s": <float>
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, fields, is_dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.metrics import Report
+from repro.experiments import (
+    ExperimentScale,
+    ParallelSweepRunner,
+    fig3_idealized,
+    fig12_fm_seeding,
+    fig13_coalescing,
+    fig14_hash_seeding,
+    fig15_kmer_counting,
+    fig16_prealignment,
+    fig17_energy_breakdown,
+    scalability,
+    summary,
+)
+from repro.sim.engine import Engine
+
+BENCH_SCHEMA = "repro-bench/1"
+
+#: The benched campaigns: name -> ``run(scale, runner)`` callable.
+BENCH_FIGURES: Dict[str, Callable[..., Any]] = {
+    "fig3": fig3_idealized.run,
+    "fig12": fig12_fm_seeding.run,
+    "fig13": fig13_coalescing.run,
+    "fig14": fig14_hash_seeding.run,
+    "fig15": fig15_kmer_counting.run,
+    "fig16": fig16_prealignment.run,
+    "fig17": fig17_energy_breakdown.run,
+    "sec6g": summary.run,
+    "scalability": scalability.run,
+}
+
+
+# -- result fingerprinting ---------------------------------------------------------
+
+
+def _walk_reports(obj: Any) -> Iterator[Report]:
+    """Yield every :class:`Report` reachable from a result object, in a
+    deterministic traversal order (dataclass field order, list order,
+    insertion order for dicts)."""
+    if isinstance(obj, Report):
+        yield obj
+        return
+    if is_dataclass(obj) and not isinstance(obj, type):
+        for f in fields(obj):
+            yield from _walk_reports(getattr(obj, f.name))
+        return
+    if isinstance(obj, dict):
+        for value in obj.values():
+            yield from _walk_reports(value)
+        return
+    if isinstance(obj, (list, tuple)):
+        for value in obj:
+            yield from _walk_reports(value)
+
+
+def fingerprint(result: Any) -> List[Tuple]:
+    """Exact (bit-identical) digest of every report in a figure result."""
+    return [
+        (
+            r.label,
+            r.system,
+            r.algorithm,
+            r.dataset,
+            r.runtime_cycles,
+            r.energy_dram_nj,
+            r.energy_comm_nj,
+            r.energy_compute_nj,
+            r.tasks_completed,
+            r.mem_requests,
+        )
+        for r in _walk_reports(result)
+    ]
+
+
+class BenchMismatchError(AssertionError):
+    """A cached/parallel run diverged from the serial/uncached reference."""
+
+
+# -- the harness -------------------------------------------------------------------
+
+
+@dataclass
+class FigureBenchResult:
+    """Timing of one figure campaign."""
+
+    name: str
+    wall_s: float
+    events: int
+    verified_identical: Optional[bool] = None
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "wall_s": self.wall_s,
+            "events": self.events,
+            "events_per_sec": self.events_per_sec,
+            "verified_identical": self.verified_identical,
+        }
+
+
+def _timed_run(fn: Callable[..., Any], scale: ExperimentScale,
+               runner: ParallelSweepRunner) -> Tuple[Any, float, int]:
+    events_before = Engine.global_events_executed()
+    started = time.perf_counter()
+    result = fn(scale, runner=runner)
+    wall = time.perf_counter() - started
+    events = Engine.global_events_executed() - events_before
+    return result, wall, events
+
+
+def _reference_run(fn: Callable[..., Any], scale: ExperimentScale) -> Any:
+    """Serial, plan-cache-disabled run (the pre-optimization semantics)."""
+    serial = ParallelSweepRunner(jobs=1)
+    previous = os.environ.get("REPRO_DISABLE_PLAN_CACHE")
+    os.environ["REPRO_DISABLE_PLAN_CACHE"] = "1"
+    try:
+        return fn(scale, runner=serial)
+    finally:
+        if previous is None:
+            del os.environ["REPRO_DISABLE_PLAN_CACHE"]
+        else:
+            os.environ["REPRO_DISABLE_PLAN_CACHE"] = previous
+
+
+def bench_figures(
+    figures: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
+    verify: bool = True,
+    scale: Optional[ExperimentScale] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[FigureBenchResult]:
+    """Time each figure campaign; optionally verify against the reference.
+
+    Raises :class:`BenchMismatchError` if any verified figure's simulated
+    cycle counts or energy totals differ from the serial/uncached path.
+    """
+    names = list(figures) if figures is not None else list(BENCH_FIGURES)
+    unknown = sorted(set(names) - set(BENCH_FIGURES))
+    if unknown:
+        raise ValueError(f"unknown bench figures: {unknown}")
+    scale = scale if scale is not None else ExperimentScale.quick()
+    runner = ParallelSweepRunner(jobs=jobs)
+    results: List[FigureBenchResult] = []
+    for name in names:
+        fn = BENCH_FIGURES[name]
+        if progress:
+            progress(f"[bench] {name}: timing ...")
+        result, wall, events = _timed_run(fn, scale, runner)
+        entry = FigureBenchResult(name=name, wall_s=wall, events=events)
+        if verify:
+            if progress:
+                progress(f"[bench] {name}: verifying vs serial/uncached ...")
+            reference = _reference_run(fn, scale)
+            identical = fingerprint(result) == fingerprint(reference)
+            entry.verified_identical = identical
+            if not identical:
+                raise BenchMismatchError(
+                    f"{name}: cached/parallel results diverge from the "
+                    "serial/uncached reference — scheduler caching or the "
+                    "parallel fan-out changed simulated behaviour"
+                )
+        results.append(entry)
+    return results
+
+
+def run_bench(
+    figures: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
+    verify: bool = True,
+    output: str = "BENCH_results.json",
+    progress: Optional[Callable[[str], None]] = print,
+) -> Dict[str, Any]:
+    """The ``python -m repro bench`` entry point: bench, verify, persist."""
+    runner = ParallelSweepRunner(jobs=jobs)
+    results = bench_figures(figures=figures, jobs=runner.jobs, verify=verify,
+                            progress=progress)
+    payload: Dict[str, Any] = {
+        "schema": BENCH_SCHEMA,
+        "created_unix": time.time(),
+        "scale": "quick",
+        "jobs": runner.jobs,
+        "figures": {r.name: r.to_dict() for r in results},
+        "total_wall_s": sum(r.wall_s for r in results),
+    }
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        if progress:
+            progress(f"[bench] wrote {output}")
+    if progress:
+        for r in results:
+            verdict = ("ok" if r.verified_identical
+                       else "UNVERIFIED" if r.verified_identical is None
+                       else "MISMATCH")
+            progress(
+                f"[bench] {r.name:12s} {r.wall_s:7.2f}s "
+                f"{r.events:>10d} events  {r.events_per_sec:>12.0f} ev/s  "
+                f"[{verdict}]"
+            )
+        progress(f"[bench] total {payload['total_wall_s']:.2f}s "
+                 f"(jobs={runner.jobs})")
+    return payload

@@ -30,6 +30,16 @@ class Engine:
     [5]
     """
 
+    #: Process-wide event counter across every engine instance; the perf
+    #: harness (``python -m repro bench``) reads deltas of this to report
+    #: events/sec for a whole experiment campaign.
+    _global_events_executed: int = 0
+
+    @classmethod
+    def global_events_executed(cls) -> int:
+        """Total events executed by all engines in this process."""
+        return cls._global_events_executed
+
     def __init__(self) -> None:
         self._now: int = 0
         self._seq: int = 0
@@ -86,8 +96,10 @@ class Engine:
             If given, stop once the next event's timestamp exceeds ``until``
             (the clock is then advanced to ``until``).
         max_events:
-            Safety valve for runaway simulations; raises
-            :class:`SimulationError` when exceeded.
+            Safety valve for runaway simulations; executes at most
+            ``max_events`` events, then raises :class:`SimulationError`
+            if work is still pending (a run that finishes in exactly
+            ``max_events`` events returns normally).
 
         Returns the final simulation time.
         """
@@ -107,7 +119,12 @@ class Engine:
                 callback()
                 self._events_executed += 1
                 executed_this_run += 1
-                if max_events is not None and executed_this_run > max_events:
+                if (
+                    max_events is not None
+                    and executed_this_run >= max_events
+                    and self._queue
+                    and not self._stopped
+                ):
                     raise SimulationError(
                         f"exceeded max_events={max_events}; "
                         "simulation is probably not converging"
@@ -116,4 +133,5 @@ class Engine:
                 self._now = until
         finally:
             self._running = False
+            Engine._global_events_executed += executed_this_run
         return self._now

@@ -11,7 +11,7 @@ handle :class:`QueueFullError`; consumers register interest via
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Generic, List, Optional, TypeVar
+from typing import Callable, Deque, Dict, Generic, Iterator, List, Optional, TypeVar
 
 T = TypeVar("T")
 
@@ -24,6 +24,13 @@ class BoundedQueue(Generic[T]):
     """FIFO with bounded capacity and push notification.
 
     ``capacity=None`` means unbounded (used for idealized components).
+
+    Out-of-order removal (:meth:`remove`, the FR-FCFS issue path) is O(1):
+    the entry is tombstoned rather than spliced out of the deque, and dead
+    entries are skipped/purged lazily by ``pop``/``peek``/``items``.  The
+    tombstone table maps ``id(item) -> item`` — holding the reference pins
+    the object so its ``id`` cannot be recycled while the dead deque entry
+    is still in place.
     """
 
     def __init__(self, name: str, capacity: Optional[int] = None) -> None:
@@ -32,22 +39,23 @@ class BoundedQueue(Generic[T]):
         self.name = name
         self.capacity = capacity
         self._items: Deque[T] = deque()
+        self._dead: Dict[int, T] = {}
         self._subscribers: List[Callable[[], None]] = []
         self.pushes = 0
         self.pops = 0
         self.max_occupancy = 0
 
     def __len__(self) -> int:
-        return len(self._items)
+        return len(self._items) - len(self._dead)
 
     def __bool__(self) -> bool:
-        return bool(self._items)
+        return len(self._items) > len(self._dead)
 
     def full(self) -> bool:
-        return self.capacity is not None and len(self._items) >= self.capacity
+        return self.capacity is not None and len(self) >= self.capacity
 
     def empty(self) -> bool:
-        return not self._items
+        return not self
 
     def push(self, item: T) -> None:
         """Append ``item``; raises :class:`QueueFullError` when full."""
@@ -55,7 +63,7 @@ class BoundedQueue(Generic[T]):
             raise QueueFullError(f"queue '{self.name}' full (capacity={self.capacity})")
         self._items.append(item)
         self.pushes += 1
-        self.max_occupancy = max(self.max_occupancy, len(self._items))
+        self.max_occupancy = max(self.max_occupancy, len(self))
         for notify in self._subscribers:
             notify()
 
@@ -66,8 +74,15 @@ class BoundedQueue(Generic[T]):
         self.push(item)
         return True
 
+    def _purge_head(self) -> None:
+        """Drop tombstoned entries at the front of the deque."""
+        items, dead = self._items, self._dead
+        while items and id(items[0]) in dead:
+            del dead[id(items.popleft())]
+
     def pop(self) -> T:
         """Remove and return the oldest item."""
+        self._purge_head()
         if not self._items:
             raise IndexError(f"pop from empty queue '{self.name}'")
         self.pops += 1
@@ -75,18 +90,41 @@ class BoundedQueue(Generic[T]):
 
     def peek(self) -> T:
         """Return the oldest item without removing it."""
+        self._purge_head()
         if not self._items:
             raise IndexError(f"peek at empty queue '{self.name}'")
         return self._items[0]
 
     def remove(self, item: T) -> None:
-        """Remove a specific item (used by FR-FCFS out-of-order issue)."""
-        self._items.remove(item)
+        """Remove a specific item (used by FR-FCFS out-of-order issue).
+
+        O(1): the entry is tombstoned in place.  The item must currently be
+        in the queue; removing an absent or already-removed item raises
+        :class:`ValueError` when detectable (same contract as before).
+        """
+        key = id(item)
+        if key in self._dead:
+            raise ValueError(f"item already removed from queue '{self.name}'")
+        if self._items and self._items[0] is item:
+            self._items.popleft()
+        else:
+            self._dead[key] = item
+            # Keep the deque from accumulating unbounded garbage: rebuild
+            # once tombstones outnumber live entries (amortized O(1)).
+            if len(self._dead) > 8 and len(self._dead) * 2 >= len(self._items):
+                self._items = deque(
+                    i for i in self._items if id(i) not in self._dead
+                )
+                self._dead.clear()
         self.pops += 1
 
-    def items(self) -> Deque[T]:
-        """The underlying deque (read-only use by schedulers)."""
-        return self._items
+    def items(self) -> Iterator[T]:
+        """Iterate over the live items in FIFO order (read-only use by
+        schedulers)."""
+        if not self._dead:
+            return iter(self._items)
+        dead = self._dead
+        return (item for item in self._items if id(item) not in dead)
 
     def on_push(self, callback: Callable[[], None]) -> None:
         """Register ``callback`` to run synchronously after every push."""

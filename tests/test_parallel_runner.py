@@ -1,0 +1,171 @@
+"""Tests for the parallel sweep fan-out (repro.experiments.parallel).
+
+The load-bearing property is *determinism*: a batch of sweep jobs must
+produce bit-identical results whether it runs serially, serially again, or
+fanned out over a process pool.  The simulations themselves are seeded and
+engine-ordered, so any divergence would come from the fan-out layer — which
+is exactly what these tests pin down.
+"""
+
+import warnings
+from dataclasses import replace
+
+import pytest
+
+from repro.core.config import Algorithm
+from repro.experiments import (
+    ExperimentScale,
+    ParallelSweepRunner,
+    SweepJob,
+    resolve_runner,
+)
+from repro.experiments.parallel import _execute_job
+from repro.experiments.runner import run_step_sweep
+from repro.perf import fingerprint
+
+
+def _square(x):
+    return x * x
+
+
+def _tiny_scale() -> ExperimentScale:
+    """Even smaller than quick: one dataset, minimal genome/read scales."""
+    return replace(
+        ExperimentScale.quick(),
+        genome_scale=0.03, read_scale=0.5, num_datasets=1,
+    )
+
+
+def _seeding_jobs(scale) -> list:
+    """One picklable FM-seeding sweep job per seeding dataset."""
+    return [
+        SweepJob(
+            key=spec.name,
+            func=run_step_sweep,
+            args=("beacon-d", Algorithm.FM_SEEDING,
+                  scale.seeding_workload(spec), scale),
+            kwargs={"with_ideal": False},
+        )
+        for spec in scale.seeding_datasets()
+    ]
+
+
+# -- mechanics ---------------------------------------------------------------------
+
+
+def test_serial_run_preserves_submission_order():
+    runner = ParallelSweepRunner(jobs=1)
+    jobs = [SweepJob(key=str(i), func=_square, args=(i,)) for i in (3, 1, 2)]
+    results = runner.run(jobs)
+    assert list(results) == ["3", "1", "2"]
+    assert results == {"3": 9, "1": 1, "2": 4}
+    assert runner.last_run_parallel is False
+
+
+def test_run_values_matches_run_order():
+    runner = ParallelSweepRunner(jobs=1)
+    jobs = [SweepJob(key=str(i), func=_square, args=(i,)) for i in range(5)]
+    assert runner.run_values(jobs) == [0, 1, 4, 9, 16]
+
+
+def test_duplicate_keys_rejected():
+    runner = ParallelSweepRunner(jobs=1)
+    jobs = [SweepJob(key="same", func=_square, args=(i,)) for i in range(2)]
+    with pytest.raises(ValueError, match="duplicate"):
+        runner.run(jobs)
+
+
+def test_kwargs_reach_the_worker():
+    def check(a, *, b):
+        return (a, b)
+
+    # Serial path (closures are fine there).
+    job = SweepJob(key="k", func=check, args=(1,), kwargs={"b": 2})
+    assert _execute_job(job) == (1, 2)
+
+
+def test_jobs_must_be_positive():
+    with pytest.raises(ValueError):
+        ParallelSweepRunner(jobs=0)
+
+
+def test_jobs_resolved_from_env(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "3")
+    assert ParallelSweepRunner.from_env().jobs == 3
+    assert ParallelSweepRunner().jobs == 3
+    # An explicit argument wins over the environment.
+    assert ParallelSweepRunner(jobs=2).jobs == 2
+
+
+def test_garbage_env_value_falls_back_to_serial(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "many")
+    with pytest.warns(UserWarning, match="REPRO_JOBS"):
+        runner = ParallelSweepRunner.from_env()
+    assert runner.jobs == 1
+
+
+def test_resolve_runner_prefers_explicit(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "4")
+    explicit = ParallelSweepRunner(jobs=2)
+    assert resolve_runner(explicit) is explicit
+    assert resolve_runner(None).jobs == 4
+
+
+def test_unpicklable_job_falls_back_to_serial():
+    """A closure cannot ship to a worker process; the batch must still
+    complete (serially) instead of failing the whole evaluation."""
+    captured = []
+
+    def closure(x):  # not picklable by reference
+        captured.append(x)
+        return -x
+
+    runner = ParallelSweepRunner(jobs=2)
+    jobs = [SweepJob(key=str(i), func=closure, args=(i,)) for i in range(3)]
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        results = runner.run(jobs)
+    assert results == {"0": 0, "1": -1, "2": -2}
+    assert runner.last_run_parallel is False
+
+
+def test_worker_exceptions_propagate():
+    runner = ParallelSweepRunner(jobs=1)
+    jobs = [SweepJob(key="bad", func=_square, args=("not-a-number",))]
+    with pytest.raises(TypeError):
+        runner.run(jobs)
+
+
+def test_parallel_simple_results_match_serial():
+    jobs = [SweepJob(key=str(i), func=_square, args=(i,)) for i in range(6)]
+    serial = ParallelSweepRunner(jobs=1).run(jobs)
+    parallel_runner = ParallelSweepRunner(jobs=2)
+    parallel = parallel_runner.run(jobs)
+    assert parallel == serial
+    assert list(parallel) == list(serial)
+
+
+# -- determinism of real sweeps ----------------------------------------------------
+
+
+def test_sweep_determinism_serial_twice_and_parallel():
+    """One quick-scale sweep, twice serially and once through the pool:
+    the Report cycle counts and energy totals must be identical."""
+    scale = _tiny_scale()
+    serial = ParallelSweepRunner(jobs=1)
+    first = serial.run(_seeding_jobs(scale))
+    second = serial.run(_seeding_jobs(scale))
+    pool_runner = ParallelSweepRunner(jobs=2)
+    with warnings.catch_warnings():
+        # If the sandbox cannot fork a pool the runner degrades to serial,
+        # which still exercises the determinism contract.
+        warnings.simplefilter("ignore")
+        pooled = pool_runner.run(_seeding_jobs(scale))
+
+    assert list(first) == list(second) == list(pooled)
+    assert fingerprint(first) == fingerprint(second)
+    assert fingerprint(first) == fingerprint(pooled)
+    # The fingerprints cover real content (one entry per step report).
+    assert fingerprint(first)
+    for sweep in first.values():
+        assert all(s.report.runtime_cycles > 0 for s in sweep.steps)

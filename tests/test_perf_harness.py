@@ -1,0 +1,107 @@
+"""Tests for the perf-regression harness (repro.perf).
+
+``python -m repro bench`` times every figure at quick scale and asserts the
+optimized path (plan cache on, optional fan-out) reproduces the
+serial/uncached reference bit-for-bit.  These tests exercise the harness
+itself on a single cheap figure so the full suite stays fast.
+"""
+
+import json
+
+import pytest
+
+from repro.core.metrics import Report
+from repro.perf import (
+    BENCH_SCHEMA,
+    BenchMismatchError,
+    FigureBenchResult,
+    bench_figures,
+    fingerprint,
+    run_bench,
+)
+from repro.perf.harness import BENCH_FIGURES
+
+
+def _report(cycles: int, label: str = "r") -> Report:
+    return Report(
+        label=label, system="beacon-d", algorithm="fm_seeding", dataset="d1",
+        runtime_cycles=cycles, tck_ns=0.75, energy_dram_nj=1.0,
+        energy_comm_nj=2.0, energy_compute_nj=3.0, tasks_completed=4,
+        mem_requests=5,
+    )
+
+
+# -- fingerprinting ----------------------------------------------------------------
+
+
+def test_fingerprint_reaches_nested_reports():
+    nested = {"a": [_report(10, "x")], "b": (_report(20, "y"),)}
+    prints = fingerprint(nested)
+    assert [p[0] for p in prints] == ["x", "y"]
+    assert [p[4] for p in prints] == [10, 20]
+
+
+def test_fingerprint_is_exact():
+    assert fingerprint(_report(10)) == fingerprint(_report(10))
+    assert fingerprint(_report(10)) != fingerprint(_report(11))
+
+
+def test_fingerprint_of_reportless_object_is_empty():
+    assert fingerprint({"numbers": [1, 2, 3]}) == []
+
+
+# -- harness mechanics -------------------------------------------------------------
+
+
+def test_unknown_figure_rejected():
+    with pytest.raises(ValueError, match="unknown bench figures"):
+        bench_figures(figures=["fig99"])
+
+
+def test_bench_catalog_covers_every_figure_module():
+    assert set(BENCH_FIGURES) == {
+        "fig3", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+        "sec6g", "scalability",
+    }
+
+
+def test_mismatch_error_is_an_assertion():
+    # So plain ``pytest`` / CI treats a divergence as a test failure.
+    assert issubclass(BenchMismatchError, AssertionError)
+
+
+def test_events_per_sec_guards_zero_wall():
+    result = FigureBenchResult(name="x", wall_s=0.0, events=100)
+    assert result.events_per_sec == 0.0
+
+
+# -- end-to-end on one cheap figure ------------------------------------------------
+
+
+def test_run_bench_writes_verified_baseline(tmp_path):
+    output = tmp_path / "BENCH_results.json"
+    payload = run_bench(figures=["fig13"], jobs=1, verify=True,
+                        output=str(output), progress=None)
+
+    assert payload["schema"] == BENCH_SCHEMA
+    assert payload["scale"] == "quick"
+    assert payload["jobs"] == 1
+    entry = payload["figures"]["fig13"]
+    assert entry["wall_s"] > 0
+    assert entry["events"] > 0
+    assert entry["events_per_sec"] > 0
+    # The bit-identical check against the serial/uncached reference ran
+    # and passed — the whole point of the harness.
+    assert entry["verified_identical"] is True
+    assert payload["total_wall_s"] >= entry["wall_s"]
+
+    on_disk = json.loads(output.read_text())
+    assert on_disk["schema"] == BENCH_SCHEMA
+    assert on_disk["figures"]["fig13"]["verified_identical"] is True
+
+
+def test_bench_without_verify_skips_reference(tmp_path):
+    results = bench_figures(figures=["fig13"], jobs=1, verify=False)
+    (entry,) = results
+    assert entry.name == "fig13"
+    assert entry.verified_identical is None

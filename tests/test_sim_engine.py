@@ -142,3 +142,47 @@ def test_determinism_of_interleaved_schedules():
         return trace
 
     assert build_and_run() == build_and_run()
+
+
+def test_max_events_executes_exactly_n():
+    eng = Engine()
+    hits = []
+
+    def rearm():
+        hits.append(eng.now)
+        eng.schedule(1, rearm)
+
+    eng.schedule(1, rearm)
+    with pytest.raises(SimulationError):
+        eng.run(max_events=5)
+    # The guard fires *at* the budget, not one event past it.
+    assert len(hits) == 5
+    assert eng.events_executed == 5
+
+
+def test_max_events_exact_drain_returns_normally():
+    eng = Engine()
+    hits = []
+    for i in range(5):
+        eng.schedule(i + 1, lambda i=i: hits.append(i))
+    eng.run(max_events=5)
+    assert hits == list(range(5))
+
+
+def test_max_events_respects_stop_on_last_event():
+    eng = Engine()
+    hits = []
+    eng.schedule(1, lambda: (hits.append(1), eng.stop()))
+    eng.schedule(2, lambda: hits.append(2))
+    # stop() lands exactly on the budget boundary: no error.
+    eng.run(max_events=1)
+    assert hits == [1]
+
+
+def test_global_event_counter_accumulates_across_engines():
+    before = Engine.global_events_executed()
+    for _ in range(3):
+        eng = Engine()
+        eng.schedule(1, lambda: None)
+        eng.run()
+    assert Engine.global_events_executed() == before + 3
