@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench-quick bench lint
+.PHONY: test bench-quick bench lint trace-smoke
 
 ## Tier-1: the full unit/integration/property suite.
 test:
@@ -23,3 +23,15 @@ bench:
 ## Static sanity: byte-compile everything (no third-party linters needed).
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples
+
+## Observability smoke: run the trace example at quick scale and check the
+## emitted file is valid Perfetto trace_event JSON covering all 4 layers.
+trace-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) examples/trace_run.py fig16
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -c "\
+	from repro.obs import load_trace, trace_layers; \
+	events = load_trace('trace.json'); \
+	assert trace_layers(events) >= {'dram', 'cxl', 'ndp', 'mem'}, trace_layers(events); \
+	assert all('ts' in e and 'dur' in e for e in events if e.get('ph') == 'X'); \
+	print(f'trace-smoke ok: {len(events)} events')"
+	rm -f trace.json metrics.csv

@@ -7,15 +7,19 @@ Usage::
     python -m repro fig15 --quick        # one figure at smoke scale
     python -m repro all --jobs 4         # the whole evaluation, 4 processes
     python -m repro bench                # perf baseline -> BENCH_results.json
+    python -m repro trace fig12 --trace-out run.json   # traced quick run
 
 Sweep points within a figure are independent simulations; ``--jobs N`` (or
 the ``REPRO_JOBS`` environment variable) fans them out over N processes
-with results identical to a serial run.
+with results identical to a serial run.  ``--trace-dir DIR`` collects one
+Perfetto trace per sweep point; ``trace`` runs one figure in-process at
+quick scale and writes a single combined trace (see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -54,6 +58,63 @@ EXPERIMENTS = {
 }
 
 
+def _run_trace(args, parser) -> int:
+    """``python -m repro trace <figure>``: one traced quick-scale run."""
+    from repro.obs import TRACE_CATEGORIES, TraceSession, busiest_components
+    from repro.perf.harness import BENCH_FIGURES
+
+    figure = args.target
+    if figure is None or figure not in BENCH_FIGURES:
+        parser.error(
+            f"trace needs a figure to run: one of {sorted(BENCH_FIGURES)}"
+        )
+    categories = None
+    if args.trace_filter:
+        categories = frozenset(
+            part.strip() for part in args.trace_filter.split(",") if part.strip()
+        )
+        unknown = categories - set(TRACE_CATEGORIES)
+        if unknown:
+            parser.error(
+                f"unknown trace categories {sorted(unknown)}; "
+                f"known: {list(TRACE_CATEGORIES)}"
+            )
+    if args.jobs is not None and args.jobs > 1:
+        print("[trace] note: traced runs are in-process; ignoring --jobs")
+    metrics_interval = args.metrics_interval
+    if metrics_interval is None and args.metrics_out:
+        from repro.obs.session import DEFAULT_METRICS_INTERVAL
+
+        metrics_interval = DEFAULT_METRICS_INTERVAL
+
+    session = TraceSession(
+        categories=categories,
+        limit=args.trace_limit,
+        metrics_interval=metrics_interval,
+    )
+    runner = ParallelSweepRunner(jobs=1)
+    started = time.time()
+    with session:
+        BENCH_FIGURES[figure](ExperimentScale.quick(), runner=runner)
+    elapsed = time.time() - started
+    recorder = session.recorder
+    session.save(args.trace_out, metrics_path=args.metrics_out or None)
+    size_mb = os.path.getsize(args.trace_out) / 1e6
+    print(f"\n[trace] {figure} took {elapsed:.1f}s at quick scale")
+    print(f"[trace] {recorder.recorded} events recorded "
+          f"({recorder.dropped} dropped) across layers: "
+          f"{', '.join(sorted(recorder.layers()))}")
+    print(f"[trace] wrote {args.trace_out} ({size_mb:.1f} MB)")
+    if args.metrics_out and session.sampler is not None:
+        print(f"[trace] wrote {args.metrics_out} "
+              f"({session.sampler.sample_count} metric samples)")
+    print("[trace] top components by busy time:")
+    for path, busy_us in busiest_components(recorder.chrome_events()):
+        print(f"    {path:44s} {busy_us:14,.1f} us")
+    print("[trace] open in https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
 def main(argv=None) -> int:
     """Run the experiment and print the paper-style rows."""
     parser = argparse.ArgumentParser(
@@ -61,10 +122,14 @@ def main(argv=None) -> int:
         description="Regenerate the BEACON paper's evaluation artifacts.",
     )
     parser.add_argument("experiment",
-                        choices=sorted(EXPERIMENTS) + ["all", "list", "bench"],
+                        choices=sorted(EXPERIMENTS) + ["all", "list", "bench",
+                                                       "trace"],
                         help="which table/figure to regenerate ('bench' "
                              "times the quick-scale suite and writes the "
-                             "perf baseline)")
+                             "perf baseline; 'trace' runs one figure at "
+                             "quick scale with tracing on)")
+    parser.add_argument("target", nargs="?", default=None,
+                        help="trace only: the figure to run traced")
     parser.add_argument("--quick", action="store_true",
                         help="smoke scale (seconds instead of minutes)")
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
@@ -76,24 +141,52 @@ def main(argv=None) -> int:
     parser.add_argument("--no-verify", action="store_true",
                         help="bench only: skip the bit-identical check "
                              "against the serial/uncached reference")
+    parser.add_argument("--verify-tracing", action="store_true",
+                        help="bench only: also verify results are "
+                             "bit-identical with tracing enabled")
+    parser.add_argument("--trace-out", default="trace.json", metavar="FILE",
+                        help="trace only: Perfetto JSON output path "
+                             "(default: %(default)s)")
+    parser.add_argument("--trace-filter", default=None, metavar="CATS",
+                        help="trace only: comma-separated categories to "
+                             "keep (dram,cxl,ndp,mem; default: all)")
+    parser.add_argument("--trace-limit", type=int, default=None, metavar="N",
+                        help="trace only: cap recorded events at N "
+                             "(default: 2,000,000)")
+    parser.add_argument("--metrics-out", default=None, metavar="FILE",
+                        help="trace only: also write sampled StatScope "
+                             "counters as CSV")
+    parser.add_argument("--metrics-interval", type=int, default=None,
+                        metavar="CYCLES",
+                        help="trace only: metric sampling interval in "
+                             "simulated cycles (default: 50,000)")
+    parser.add_argument("--trace-dir", default=None, metavar="DIR",
+                        help="figure runs: write one trace per sweep job "
+                             "into DIR (also $REPRO_TRACE_DIR)")
     args = parser.parse_args(argv)
     if args.jobs is not None and args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+
+    if args.experiment == "trace":
+        return _run_trace(args, parser)
+    if args.target is not None:
+        parser.error("a second positional argument is only valid for 'trace'")
 
     if args.experiment == "list":
         for name, (description, _run) in sorted(EXPERIMENTS.items()):
             print(f"  {name:8s} {description}")
         print("  bench    perf baseline: time every figure at quick scale")
+        print("  trace    one traced figure run -> Perfetto JSON")
         return 0
 
     if args.experiment == "bench":
         from repro.perf import run_bench
 
         run_bench(jobs=args.jobs, verify=not args.no_verify,
-                  output=args.output)
+                  output=args.output, trace_verify=args.verify_tracing)
         return 0
 
-    runner = ParallelSweepRunner(jobs=args.jobs)
+    runner = ParallelSweepRunner(jobs=args.jobs, trace_dir=args.trace_dir)
     scale = ExperimentScale.quick() if args.quick else ExperimentScale.bench()
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

@@ -64,6 +64,13 @@ class NdpModule(Component):
         """Accept a task (typically delivered as a TASK message)."""
         if task.started_at is None:
             task.started_at = self.now
+            tracer = self.engine.tracer
+            if tracer:
+                tracer.async_begin(
+                    "ndp", "task", self.path, self.now, task.task_id,
+                    pid=self.engine.trace_id,
+                    args={"algorithm": task.algorithm.value},
+                )
         self.stats.add("tasks_submitted", 1)
         self.scheduler.push_ready(task)
 
@@ -92,6 +99,14 @@ class NdpModule(Component):
             return
         if isinstance(step, ComputeStep):
             self.pes.record_compute(task.algorithm, step.cycles)
+            tracer = self.engine.tracer
+            if tracer and tracer.wants("ndp"):
+                tracer.complete(
+                    "ndp", "compute", self.pes.path, self.now, step.cycles,
+                    pid=self.engine.trace_id,
+                    args={"task": task.task_id,
+                          "algorithm": task.algorithm.value},
+                )
             self.engine.schedule(step.cycles, lambda: self._advance(task))
             return
         if isinstance(step, MemStep):
@@ -124,6 +139,13 @@ class NdpModule(Component):
     def _migrate(self, task: Task, step: MemStep, target: "NdpModule") -> None:
         """Ship the task (sequence + state, one small message) to ``target``."""
         self.stats.add("task_migrations", 1)
+        tracer = self.engine.tracer
+        if tracer:
+            tracer.instant(
+                "ndp", "migrate", self.path, self.now,
+                pid=self.engine.trace_id,
+                args={"task": task.task_id, "to": target.node},
+            )
         self.pes.release()
         self._dispatch()
         fabric = self.pool.fabric
@@ -153,6 +175,14 @@ class NdpModule(Component):
                 self.scheduler.push_ready(task)
             return
         self.scheduler.park(task, operands=len(accesses))
+        tracer = self.engine.tracer
+        if tracer:
+            tracer.instant(
+                "ndp", "stall", self.path, self.now,
+                pid=self.engine.trace_id,
+                args={"task": task.task_id, "reason": "mem",
+                      "operands": len(accesses)},
+            )
         if holds_pe:
             # The PE switches to another task while this one waits.
             self.pes.release()
@@ -180,6 +210,10 @@ class NdpModule(Component):
         self.pes.release()
         self.tasks_completed += 1
         self.stats.add("tasks_completed", 1)
+        tracer = self.engine.tracer
+        if tracer:
+            tracer.async_end("ndp", "task", self.path, self.now,
+                             task.task_id, pid=self.engine.trace_id)
         if task.on_done is not None:
             task.on_done(task)
         if self.on_task_done is not None:

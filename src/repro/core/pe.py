@@ -40,6 +40,7 @@ class PePool(Component):
             return False
         self._account()
         self.busy += 1
+        self._trace_occupancy()
         return True
 
     def release(self) -> None:
@@ -47,6 +48,14 @@ class PePool(Component):
             raise RuntimeError(f"{self.path}: release without acquire")
         self._account()
         self.busy -= 1
+        self._trace_occupancy()
+
+    def _trace_occupancy(self) -> None:
+        """Emit the busy-PE counter track (a live utilization timeline)."""
+        tracer = self.engine.tracer
+        if tracer:
+            tracer.counter("ndp", "pes_busy", self.path, self.now,
+                           {"busy": self.busy}, pid=self.engine.trace_id)
 
     def record_compute(self, algorithm: Algorithm, cycles: int) -> None:
         """Account one compute step (drives the compute-energy term)."""

@@ -37,3 +37,7 @@ class Host(Component):
         """Account one coherence-detour crossing (for the Fig. 9 analysis)."""
         self.stats.add("detour_messages", 1)
         self.stats.add("detour_bytes", wire_bytes)
+        tracer = self.engine.tracer
+        if tracer:
+            tracer.instant("cxl", "host_detour", self.path, self.now,
+                           pid=self.engine.trace_id)

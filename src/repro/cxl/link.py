@@ -75,6 +75,15 @@ class Link(Component):
         self._free_at = start + int(serialize)
         arrive = self._free_at + self.params.latency_cycles
         self.stats.add("busy_cycles", int(serialize))
+        tracer = self.engine.tracer
+        if tracer and tracer.wants("cxl"):
+            tracer.complete(
+                "cxl", "xfer", self.path, start, int(serialize),
+                pid=self.engine.trace_id,
+                args={"bytes": wire_bytes,
+                      "wait": start - self.now,
+                      "arrive": arrive},
+            )
         self.engine.schedule_at(arrive, on_delivered)
         return arrive
 

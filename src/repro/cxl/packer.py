@@ -91,6 +91,14 @@ class PackedChannel(Component):
         wire = -(-batch_bytes // FLIT_BYTES) * FLIT_BYTES
         self.stats.add("packed_flits", wire // FLIT_BYTES)
         self.stats.add("packed_messages", len(batch))
+        tracer = self.engine.tracer
+        if tracer:
+            tracer.instant(
+                "cxl", "flit_flush", self.path, self.now,
+                pid=self.engine.trace_id,
+                args={"messages": len(batch), "payload_bytes": batch_bytes,
+                      "wire_bytes": wire},
+            )
 
         def deliver_all() -> None:
             for message in batch:

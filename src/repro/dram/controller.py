@@ -115,6 +115,13 @@ class DimmController(Component):
         else:
             self._waiters.append(request)
             self.stats.add("parked", 1)
+            tracer = self.engine.tracer
+            if tracer:
+                tracer.instant(
+                    "dram", "queue_full", self.path, self.engine.now,
+                    pid=self.engine.trace_id,
+                    args={"waiting": len(self._waiters)},
+                )
 
     def _admit_waiters(self) -> None:
         while self._waiters and not self.queue.full():
@@ -261,6 +268,27 @@ class DimmController(Component):
         dimm = self.dimm
         timing = dimm.timing
         bursts = transfer_cycles // timing.tbl
+        tracer = self.engine.tracer
+        if tracer and tracer.wants("dram"):
+            # Row-buffer outcome must be read *before* commit mutates it.
+            if not activate:
+                row_state = "hit"
+            elif banks[0].open_row is None:
+                row_state = "miss"
+            else:
+                row_state = "conflict"
+            op = "WR" if request.is_write else "RD"
+            tracer.complete(
+                "dram", f"ACT+{op}" if activate else op, self.path,
+                start, pre_data + transfer_cycles,
+                pid=self.engine.trace_id,
+                args={
+                    "row_state": row_state, "rank": coord.rank,
+                    "bank": coord.bank, "row": coord.row,
+                    "chips": coord.chips_per_group, "bursts": bursts,
+                    "queue_depth": len(self.queue) + len(self._waiters),
+                },
+            )
         finish = start
         for bank in banks:
             f = bank.commit(start, coord.row, pre_data, transfer_cycles,

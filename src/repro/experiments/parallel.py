@@ -14,12 +14,18 @@ Job count resolution, in priority order: the explicit ``jobs`` argument,
 the ``REPRO_JOBS`` environment variable, else 1 (serial).  ``jobs=1`` never
 touches multiprocessing, and a pool that fails to spawn (sandboxes,
 restricted environments) degrades gracefully to the serial path.
+
+Per-job tracing: a ``trace_dir`` (argument or ``REPRO_TRACE_DIR``) makes
+every job run inside its own :class:`repro.obs.TraceSession` and write
+``<trace_dir>/<key>.json`` — one Perfetto-loadable trace per sweep point,
+in workers and in the serial path alike.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import re
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -46,9 +52,28 @@ class SweepJob:
         return self.func(*self.args, **dict(self.kwargs))
 
 
-def _execute_job(job: SweepJob) -> Any:
-    """Worker entry point (module-level so the pool can pickle it)."""
-    return job.execute()
+def trace_path_for(trace_dir: str, key: str) -> str:
+    """Trace file a job with ``key`` writes when tracing into ``trace_dir``."""
+    safe = re.sub(r"[^A-Za-z0-9._-]+", "_", key)
+    return os.path.join(trace_dir, f"{safe}.json")
+
+
+def _execute_job(job: SweepJob, trace_dir: Optional[str] = None) -> Any:
+    """Worker entry point (module-level so the pool can pickle it).
+
+    With a ``trace_dir``, the job runs under its own trace session and its
+    events are written to :func:`trace_path_for` before returning.
+    """
+    if trace_dir is None:
+        return job.execute()
+    from repro.obs import TraceSession
+
+    os.makedirs(trace_dir, exist_ok=True)
+    session = TraceSession()
+    with session:
+        result = job.execute()
+    session.save(trace_path_for(trace_dir, job.key))
+    return result
 
 
 class ParallelSweepRunner:
@@ -60,12 +85,20 @@ class ParallelSweepRunner:
     ['a', 'b']
     """
 
-    def __init__(self, jobs: Optional[int] = None) -> None:
+    def __init__(self, jobs: Optional[int] = None,
+                 trace_dir: Optional[str] = None) -> None:
         if jobs is None:
             jobs = self._jobs_from_env()
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
+        #: Directory for per-job trace files (``None`` = tracing off);
+        #: defaults to ``REPRO_TRACE_DIR`` when unset.
+        self.trace_dir = (
+            trace_dir
+            if trace_dir is not None
+            else os.environ.get("REPRO_TRACE_DIR", "").strip() or None
+        )
         #: Set after each batch: whether it actually ran on a pool.
         self.last_run_parallel = False
 
@@ -123,12 +156,14 @@ class ParallelSweepRunner:
 
     def _run_serial(self, jobs: Sequence[SweepJob]) -> Dict[str, Any]:
         self.last_run_parallel = False
-        return {job.key: job.execute() for job in jobs}
+        return {job.key: _execute_job(job, self.trace_dir) for job in jobs}
 
     def _run_pool(self, jobs: Sequence[SweepJob]) -> Dict[str, Any]:
         workers = min(self.jobs, len(jobs))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(_execute_job, job) for job in jobs]
+            futures = [
+                pool.submit(_execute_job, job, self.trace_dir) for job in jobs
+            ]
             results = {job.key: f.result() for job, f in zip(jobs, futures)}
         self.last_run_parallel = True
         return results

@@ -69,6 +69,14 @@ class MemoryManagementFramework(Component):
         migrated = self.allocator.dedicate(dimm_indices, owner)
         self.stats.add("dedicated_dimms", len(dimm_indices))
         self.stats.add("migrated_bytes", migrated)
+        tracer = self.engine.tracer
+        if tracer:
+            tracer.complete(
+                "mem", "dedicate", self.path, self.engine.now, 0,
+                pid=self.engine.trace_id,
+                args={"owner": owner, "dimms": len(dimm_indices),
+                      "migrated_bytes": migrated},
+            )
         return migrated
 
     def allocate(
@@ -93,6 +101,20 @@ class MemoryManagementFramework(Component):
             response = AllocationResponse(success=False, error=str(exc))
         self.requests_served += 1
         self.stats.add("allocations" if response.success else "allocation_failures", 1)
+        tracer = self.engine.tracer
+        if tracer:
+            tracer.complete(
+                "mem", "allocate", self.path, self.engine.now, 0,
+                pid=self.engine.trace_id,
+                args={
+                    "application": request.application,
+                    "algorithm": request.algorithm,
+                    "dataset": request.dataset,
+                    "size_bytes": request.size_bytes,
+                    "success": response.success,
+                    "region": response.region.name if response.region else "",
+                },
+            )
         self._control_round_trip(on_response, response)
         return response
 
@@ -108,6 +130,13 @@ class MemoryManagementFramework(Component):
         except KeyError as exc:
             response = AllocationResponse(success=False, error=str(exc))
         self.stats.add("deallocations" if response.success else "deallocation_failures", 1)
+        tracer = self.engine.tracer
+        if tracer:
+            tracer.complete(
+                "mem", "deallocate", self.path, self.engine.now, 0,
+                pid=self.engine.trace_id,
+                args={"region": region_name, "success": response.success},
+            )
         self._control_round_trip(on_response, response)
         return response
 

@@ -1,0 +1,54 @@
+"""Observability: simulation tracing and live metrics.
+
+``repro.obs`` is the always-available, off-by-default tracing layer of the
+simulator.  A :class:`TraceRecorder` installed on the event engine (via
+:class:`TraceSession` or :func:`install`) records typed spans and instant
+events — DRAM commands, CXL flit transfers, NDP task/compute activity,
+memory-management operations — with timestamps in simulated time, and a
+:class:`MetricsSampler` snapshots :class:`~repro.sim.stats.StatScope`
+counters at a configurable simulated-time interval.  Exporters write
+Chrome/Perfetto ``trace_event`` JSON (open in https://ui.perfetto.dev or
+``chrome://tracing``) and a flat CSV of metric samples.
+
+Tracing is purely observational: instrument sites only *read* simulator
+state and never schedule events, so simulated cycle counts and energy
+totals are bit-identical with tracing on or off (the perf harness's
+``--verify-tracing`` mode proves it).  When no recorder is installed the
+instrument sites reduce to one attribute read and a truth test.
+
+See ``docs/OBSERVABILITY.md`` for the category/span reference and a
+worked diagnosis example.
+"""
+
+from repro.obs.export import (
+    busiest_components,
+    load_trace,
+    trace_layers,
+    write_chrome_trace,
+)
+from repro.obs.metrics import MetricsSample, MetricsSampler, write_metrics_csv
+from repro.obs.recorder import (
+    DEFAULT_EVENT_LIMIT,
+    TRACE_CATEGORIES,
+    NullRecorder,
+    TraceRecorder,
+)
+from repro.obs.session import TraceSession, current_recorder, install, uninstall
+
+__all__ = [
+    "DEFAULT_EVENT_LIMIT",
+    "MetricsSample",
+    "MetricsSampler",
+    "NullRecorder",
+    "TRACE_CATEGORIES",
+    "TraceRecorder",
+    "TraceSession",
+    "busiest_components",
+    "current_recorder",
+    "install",
+    "load_trace",
+    "trace_layers",
+    "uninstall",
+    "write_chrome_trace",
+    "write_metrics_csv",
+]

@@ -1,0 +1,313 @@
+"""Trace recorders: the event sink behind every instrument site.
+
+A :class:`TraceRecorder` accumulates Chrome ``trace_event`` dictionaries —
+complete spans (``ph: "X"``), instants (``"i"``), counters (``"C"``), and
+async begin/end pairs (``"b"``/``"e"``) — with timestamps converted from
+simulated DRAM cycles to trace microseconds (``cycles * tck_ns / 1000``).
+Each engine gets its own trace ``pid`` (its :attr:`~repro.sim.engine.
+Engine.trace_id`), so the many single-shot systems built during one figure
+campaign appear as separate processes on one timeline; component paths
+become named threads within the process.
+
+Instrument sites follow one pattern::
+
+    tracer = self.engine.tracer
+    if tracer:                       # None and NullRecorder are falsy
+        tracer.complete("dram", "RD", self.path, start, dur,
+                        pid=self.engine.trace_id, args={...})
+
+so a disabled run pays exactly one attribute read and a truth test per
+site.  :class:`NullRecorder` is a do-nothing stand-in for callers that
+want to hold a recorder unconditionally.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+#: The instrumented layers.  ``dram`` — controller command/data activity;
+#: ``cxl`` — link serialization, flit packing, routing decisions; ``ndp`` —
+#: PE compute, task lifetimes, stalls; ``mem`` — the memory-management
+#: framework (dedication, allocation, memory clean).
+TRACE_CATEGORIES: Tuple[str, ...] = ("dram", "cxl", "ndp", "mem")
+
+#: Default cap on recorded events.  A quick-scale figure campaign emits a
+#: few hundred thousand events; the cap keeps worst-case memory and JSON
+#: size bounded while :attr:`TraceRecorder.dropped` reports what was cut.
+DEFAULT_EVENT_LIMIT = 2_000_000
+
+
+class NullRecorder:
+    """A recorder that records nothing (the no-op fast path).
+
+    Falsy, so ``if tracer:`` guards skip argument construction entirely;
+    every method is a no-op with the same signature as
+    :class:`TraceRecorder`, so it can also be called unconditionally.
+    """
+
+    enabled = False
+
+    def __bool__(self) -> bool:
+        return False
+
+    def wants(self, cat: str) -> bool:
+        """Whether events of category ``cat`` would be kept (never)."""
+        return False
+
+    def complete(self, cat, name, path, start_cycle, dur_cycles,
+                 pid=0, args=None) -> None:
+        """Discard a span."""
+
+    def instant(self, cat, name, path, cycle, pid=0, args=None) -> None:
+        """Discard an instant event."""
+
+    def counter(self, cat, name, path, cycle, values, pid=0) -> None:
+        """Discard a counter sample."""
+
+    def async_begin(self, cat, name, path, cycle, event_id,
+                    pid=0, args=None) -> None:
+        """Discard an async-begin event."""
+
+    def async_end(self, cat, name, path, cycle, event_id,
+                  pid=0, args=None) -> None:
+        """Discard an async-end event."""
+
+    def register_root(self, pid, name, scope) -> None:
+        """Ignore a root-component registration."""
+
+
+class TraceRecorder:
+    """Collects typed trace events from the instrument sites.
+
+    Parameters
+    ----------
+    tck_ns:
+        Simulated nanoseconds per engine cycle (1.25 for the DDR4-1600
+        devices every experiment uses); converts cycle timestamps to the
+        microsecond ``ts`` values the ``trace_event`` format expects.
+    categories:
+        Keep only these categories (see :data:`TRACE_CATEGORIES`);
+        ``None`` keeps everything.
+    limit:
+        Maximum number of events retained; further events are counted in
+        :attr:`dropped` instead of stored.  ``None`` means unbounded.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        tck_ns: float = 1.25,
+        categories: Optional[Iterable[str]] = None,
+        limit: Optional[int] = DEFAULT_EVENT_LIMIT,
+    ) -> None:
+        if tck_ns <= 0:
+            raise ValueError("tck_ns must be positive")
+        if limit is not None and limit < 0:
+            raise ValueError("limit must be non-negative")
+        self.tck_ns = float(tck_ns)
+        self.categories: Optional[FrozenSet[str]] = (
+            frozenset(categories) if categories is not None else None
+        )
+        if self.categories is not None:
+            unknown = self.categories - set(TRACE_CATEGORIES)
+            if unknown:
+                raise ValueError(
+                    f"unknown trace categories {sorted(unknown)}; "
+                    f"known: {list(TRACE_CATEGORIES)}"
+                )
+        self.limit = limit
+        self.events: List[Dict[str, object]] = []
+        self.dropped = 0
+        #: Optional :class:`~repro.obs.metrics.MetricsSampler`; when set,
+        #: every record call gives it a chance to snapshot counters.
+        self.metrics = None
+        self._process_names: Dict[int, str] = {}
+        self._root_scopes: List[Tuple[int, object]] = []
+        self._thread_ids: Dict[Tuple[int, str], int] = {}
+
+    def __bool__(self) -> bool:
+        return True
+
+    # -- configuration / wiring ---------------------------------------------------
+
+    def wants(self, cat: str) -> bool:
+        """Whether events of category ``cat`` pass the filter."""
+        return self.categories is None or cat in self.categories
+
+    def register_root(self, pid: int, name: str, scope) -> None:
+        """Bind a root component: names the trace process, and registers
+        its :class:`~repro.sim.stats.StatScope` tree for metric sampling."""
+        self._process_names.setdefault(pid, name)
+        self._root_scopes.append((pid, scope))
+
+    @property
+    def root_scopes(self) -> List[Tuple[int, object]]:
+        """Registered ``(pid, StatScope)`` roots (metric sampling targets)."""
+        return list(self._root_scopes)
+
+    def process_name(self, pid: int) -> str:
+        """Display name of trace process ``pid`` (root component label)."""
+        return self._process_names.get(pid, f"engine{pid}")
+
+    # -- internals -----------------------------------------------------------------
+
+    def _us(self, cycles: float) -> float:
+        return cycles * self.tck_ns / 1000.0
+
+    def _tid(self, pid: int, path: str) -> int:
+        key = (pid, path)
+        tid = self._thread_ids.get(key)
+        if tid is None:
+            tid = len(self._thread_ids) + 1
+            self._thread_ids[key] = tid
+        return tid
+
+    def _admit(self, cat: str, cycle: int, pid: int) -> bool:
+        """Shared front door: drive the metrics sampler, apply the
+        category filter and the event cap."""
+        if self.metrics is not None:
+            self.metrics.maybe_sample(self, pid, cycle)
+        if self.categories is not None and cat not in self.categories:
+            return False
+        if self.limit is not None and len(self.events) >= self.limit:
+            self.dropped += 1
+            return False
+        return True
+
+    # -- record API ---------------------------------------------------------------
+
+    def complete(
+        self,
+        cat: str,
+        name: str,
+        path: str,
+        start_cycle: int,
+        dur_cycles: int,
+        pid: int = 0,
+        args: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Record a complete span (``ph: "X"``) on component ``path``."""
+        if not self._admit(cat, start_cycle, pid):
+            return
+        event: Dict[str, object] = {
+            "ph": "X", "cat": cat, "name": name,
+            "pid": pid, "tid": self._tid(pid, path),
+            "ts": self._us(start_cycle), "dur": self._us(dur_cycles),
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def instant(
+        self,
+        cat: str,
+        name: str,
+        path: str,
+        cycle: int,
+        pid: int = 0,
+        args: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Record an instant event (``ph: "i"``, thread scope)."""
+        if not self._admit(cat, cycle, pid):
+            return
+        event: Dict[str, object] = {
+            "ph": "i", "s": "t", "cat": cat, "name": name,
+            "pid": pid, "tid": self._tid(pid, path),
+            "ts": self._us(cycle),
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def counter(
+        self,
+        cat: str,
+        name: str,
+        path: str,
+        cycle: int,
+        values: Dict[str, float],
+        pid: int = 0,
+    ) -> None:
+        """Record a counter sample (``ph: "C"``) — one track per series."""
+        if not self._admit(cat, cycle, pid):
+            return
+        self.events.append({
+            "ph": "C", "cat": cat, "name": f"{path}.{name}",
+            "pid": pid, "tid": 0,
+            "ts": self._us(cycle), "args": dict(values),
+        })
+
+    def async_begin(
+        self,
+        cat: str,
+        name: str,
+        path: str,
+        cycle: int,
+        event_id: int,
+        pid: int = 0,
+        args: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Open an async span (``ph: "b"``) — e.g. a task's lifetime,
+        which parks and resumes across many engine callbacks."""
+        self._async(cat, "b", name, path, cycle, event_id, pid, args)
+
+    def async_end(
+        self,
+        cat: str,
+        name: str,
+        path: str,
+        cycle: int,
+        event_id: int,
+        pid: int = 0,
+        args: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Close an async span opened by :meth:`async_begin` (same
+        ``cat``/``name``/``event_id``)."""
+        self._async(cat, "e", name, path, cycle, event_id, pid, args)
+
+    def _async(self, cat, ph, name, path, cycle, event_id, pid, args) -> None:
+        if not self._admit(cat, cycle, pid):
+            return
+        event: Dict[str, object] = {
+            "ph": ph, "cat": cat, "name": name,
+            "id": f"0x{event_id:x}",
+            "pid": pid, "tid": self._tid(pid, path),
+            "ts": self._us(cycle),
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    # -- reporting ----------------------------------------------------------------
+
+    @property
+    def recorded(self) -> int:
+        """Number of events currently held."""
+        return len(self.events)
+
+    def layers(self) -> FrozenSet[str]:
+        """Categories that actually recorded at least one event."""
+        return frozenset(str(e["cat"]) for e in self.events)
+
+    def metadata_events(self) -> List[Dict[str, object]]:
+        """Chrome ``M`` events naming every process (system) and thread
+        (component path) seen so far."""
+        out: List[Dict[str, object]] = []
+        for pid, name in sorted(self._process_names.items()):
+            out.append({
+                "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                "args": {"name": name},
+            })
+        for (pid, path), tid in sorted(
+            self._thread_ids.items(), key=lambda item: item[1]
+        ):
+            out.append({
+                "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                "args": {"name": path},
+            })
+        return out
+
+    def chrome_events(self) -> List[Dict[str, object]]:
+        """Metadata + recorded events, ready for ``traceEvents``."""
+        return self.metadata_events() + self.events

@@ -167,17 +167,35 @@ def _reference_run(fn: Callable[..., Any], scale: ExperimentScale) -> Any:
             os.environ["REPRO_DISABLE_PLAN_CACHE"] = previous
 
 
+#: Event cap for verification-only traced runs: small on purpose — the
+#: point is exercising the instrumented code paths, not keeping events.
+TRACE_VERIFY_LIMIT = 50_000
+
+
+def _traced_run(fn: Callable[..., Any], scale: ExperimentScale) -> Any:
+    """Serial run with tracing enabled, for tracing-is-observational checks."""
+    from repro.obs import TraceSession
+
+    serial = ParallelSweepRunner(jobs=1)
+    with TraceSession(limit=TRACE_VERIFY_LIMIT):
+        return fn(scale, runner=serial)
+
+
 def bench_figures(
     figures: Optional[Sequence[str]] = None,
     jobs: Optional[int] = None,
     verify: bool = True,
     scale: Optional[ExperimentScale] = None,
     progress: Optional[Callable[[str], None]] = None,
+    trace_verify: bool = False,
 ) -> List[FigureBenchResult]:
     """Time each figure campaign; optionally verify against the reference.
 
     Raises :class:`BenchMismatchError` if any verified figure's simulated
     cycle counts or energy totals differ from the serial/uncached path.
+    With ``trace_verify``, each figure additionally runs once with tracing
+    enabled and its fingerprint must match the timed run — tracing is
+    observational and must never perturb simulated behaviour.
     """
     names = list(figures) if figures is not None else list(BENCH_FIGURES)
     unknown = sorted(set(names) - set(BENCH_FIGURES))
@@ -204,6 +222,16 @@ def bench_figures(
                     "serial/uncached reference — scheduler caching or the "
                     "parallel fan-out changed simulated behaviour"
                 )
+        if trace_verify:
+            if progress:
+                progress(f"[bench] {name}: verifying tracing on == off ...")
+            traced = _traced_run(fn, scale)
+            if fingerprint(result) != fingerprint(traced):
+                raise BenchMismatchError(
+                    f"{name}: results with tracing enabled diverge from the "
+                    "untraced run — an instrumentation site is perturbing "
+                    "simulated behaviour"
+                )
         results.append(entry)
     return results
 
@@ -214,11 +242,12 @@ def run_bench(
     verify: bool = True,
     output: str = "BENCH_results.json",
     progress: Optional[Callable[[str], None]] = print,
+    trace_verify: bool = False,
 ) -> Dict[str, Any]:
     """The ``python -m repro bench`` entry point: bench, verify, persist."""
     runner = ParallelSweepRunner(jobs=jobs)
     results = bench_figures(figures=figures, jobs=runner.jobs, verify=verify,
-                            progress=progress)
+                            progress=progress, trace_verify=trace_verify)
     payload: Dict[str, Any] = {
         "schema": BENCH_SCHEMA,
         "created_unix": time.time(),

@@ -30,6 +30,11 @@ class Component:
             self.stats = parent.stats.child(name)
         else:
             self.stats = StatScope(name)
+            tracer = engine.tracer
+            if tracer:
+                # A root component names a whole system: label its trace
+                # process and expose its stat tree to the metrics sampler.
+                tracer.register_root(engine.trace_id, name, self.stats)
 
     @property
     def now(self) -> int:

@@ -35,6 +35,17 @@ class Engine:
     #: events/sec for a whole experiment campaign.
     _global_events_executed: int = 0
 
+    #: Recorder newly constructed engines adopt (see :mod:`repro.obs`).
+    #: ``None`` keeps tracing disabled; instrument sites throughout the
+    #: simulator guard with ``if engine.tracer:`` so a disabled run pays
+    #: one attribute read per site.  Set via ``repro.obs.install`` /
+    #: ``TraceSession`` rather than directly.
+    default_tracer = None
+
+    #: Monotonic engine counter; doubles as the trace ``pid`` so each
+    #: single-shot system appears as its own process on a shared timeline.
+    _next_trace_id: int = 0
+
     @classmethod
     def global_events_executed(cls) -> int:
         """Total events executed by all engines in this process."""
@@ -47,6 +58,13 @@ class Engine:
         self._events_executed: int = 0
         self._running: bool = False
         self._stopped: bool = False
+        #: This engine's trace recorder (``None`` = tracing off).  Purely
+        #: observational: recording never schedules events or mutates
+        #: simulated state, so results are bit-identical either way.
+        self.tracer = Engine.default_tracer
+        #: Identity of this engine on a shared trace timeline.
+        self.trace_id: int = Engine._next_trace_id
+        Engine._next_trace_id += 1
 
     @property
     def now(self) -> int:

@@ -10,40 +10,87 @@ summed over every bank of every DIMM in a pool.
 
 from __future__ import annotations
 
+import random
 from typing import Dict, Iterator, List, Optional
 
 
 class Histogram:
-    """A lightweight value accumulator with summary statistics."""
+    """A memory-bounded value accumulator with summary statistics.
 
-    def __init__(self) -> None:
+    Summary aggregates (``count``, ``total``, ``mean``, ``minimum``,
+    ``maximum``) are maintained as running values and are **always exact**,
+    no matter how many samples are recorded.  The retained sample list
+    (``values``) is capped at :data:`CAP` entries so arbitrarily long
+    (e.g. traced) runs cannot grow memory without bound: up to the cap
+    every sample is kept and :meth:`percentile` is exact; beyond it the
+    list becomes a uniform reservoir (Vitter's Algorithm R with a fixed
+    seed, so results stay deterministic for a given record sequence) and
+    percentiles are estimates over the reservoir.
+    """
+
+    #: Maximum retained samples per histogram (64 Ki values ≈ 0.5 MB).
+    CAP = 65536
+
+    def __init__(self, cap: Optional[int] = None) -> None:
+        self.cap = self.CAP if cap is None else cap
+        if self.cap <= 0:
+            raise ValueError("cap must be positive")
         self.values: List[float] = []
+        self._count = 0
+        self._total = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._rng: Optional[random.Random] = None
 
     def record(self, value: float) -> None:
-        self.values.append(value)
+        self._count += 1
+        self._total += value
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+        if len(self.values) < self.cap:
+            self.values.append(value)
+            return
+        # Reservoir sampling keeps each seen value with equal probability.
+        # The seeded RNG is created lazily so bounded histograms cost
+        # nothing extra, and deterministically so reruns are identical.
+        if self._rng is None:
+            self._rng = random.Random(0x5EED)
+        slot = self._rng.randrange(self._count)
+        if slot < self.cap:
+            self.values[slot] = value
 
     @property
     def count(self) -> int:
-        return len(self.values)
+        return self._count
 
     @property
     def total(self) -> float:
-        return sum(self.values)
+        return self._total
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self.values else 0.0
+        return self._total / self._count if self._count else 0.0
 
     @property
     def maximum(self) -> float:
-        return max(self.values) if self.values else 0.0
+        return self._max if self._max is not None else 0.0
 
     @property
     def minimum(self) -> float:
-        return min(self.values) if self.values else 0.0
+        return self._min if self._min is not None else 0.0
+
+    @property
+    def saturated(self) -> bool:
+        """Whether more samples were seen than the retention cap."""
+        return self._count > self.cap
 
     def percentile(self, p: float) -> float:
-        """Return the ``p``-th percentile (0 <= p <= 100) by nearest rank."""
+        """The ``p``-th percentile (0 <= p <= 100) by nearest rank.
+
+        Exact while ``count <= cap``; a reservoir estimate afterwards.
+        """
         if not self.values:
             return 0.0
         if not 0.0 <= p <= 100.0:

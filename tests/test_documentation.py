@@ -48,3 +48,25 @@ def test_top_level_exports_resolve():
 
     from repro.core import BeaconD, BeaconS, Report  # noqa: F401
     from repro.experiments import ExperimentScale  # noqa: F401
+
+
+def _modules_named_in_api_doc():
+    import pathlib
+    import re
+
+    doc = pathlib.Path(__file__).resolve().parent.parent / "docs" / "API.md"
+    names = set(re.findall(r"`(repro(?:\.\w+)+)`", doc.read_text()))
+    assert names, "docs/API.md names no repro.* modules?"
+    return sorted(names)
+
+
+@pytest.mark.parametrize("name", _modules_named_in_api_doc())
+def test_api_doc_modules_import(name):
+    """Every dotted `repro.*` path written in docs/API.md must import
+    (as a module, or as an attribute of its parent module)."""
+    try:
+        importlib.import_module(name)
+    except ImportError:
+        parent, _, attr = name.rpartition(".")
+        module = importlib.import_module(parent)
+        assert hasattr(module, attr), f"docs/API.md names missing {name}"
