@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench-quick bench lint trace-smoke
+.PHONY: test bench-quick bench lint trace-smoke profile-smoke
 
 ## Tier-1: the full unit/integration/property suite.
 test:
@@ -35,3 +35,23 @@ trace-smoke:
 	assert all('ts' in e and 'dur' in e for e in events if e.get('ph') == 'X'); \
 	print(f'trace-smoke ok: {len(events)} events')"
 	rm -f trace.json metrics.csv
+
+## Profiling smoke: one profiled figure run; check the ProfileReport's
+## schema and that every system's phase decomposition sums to its total
+## request latency, and that the flamegraph is non-empty.
+profile-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro profile fig16 \
+		--profile-out profile.json --flame-out profile.folded
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -c "\
+	from repro.obs import PROFILE_SCHEMA, ProfileReport; \
+	report = ProfileReport.load('profile.json'); \
+	assert report.schema == PROFILE_SCHEMA; \
+	assert report.systems, 'no systems profiled'; \
+	assert all( \
+	    sum(s['requests']['phases_cycles'].values()) \
+	    == s['requests']['total_latency_cycles'] \
+	    for s in report.systems.values()); \
+	assert sum(1 for line in open('profile.folded')) > 0; \
+	print(f'profile-smoke ok: {len(report.systems)} systems, ' \
+	      f'{report.events_seen} events')"
+	rm -f profile.json profile.folded

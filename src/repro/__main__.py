@@ -8,12 +8,17 @@ Usage::
     python -m repro all --jobs 4         # the whole evaluation, 4 processes
     python -m repro bench                # perf baseline -> BENCH_results.json
     python -m repro trace fig12 --trace-out run.json   # traced quick run
+    python -m repro profile fig16        # latency attribution -> profile.json
+    python -m repro profile --diff a.json b.json       # rank attribution deltas
 
 Sweep points within a figure are independent simulations; ``--jobs N`` (or
 the ``REPRO_JOBS`` environment variable) fans them out over N processes
 with results identical to a serial run.  ``--trace-dir DIR`` collects one
-Perfetto trace per sweep point; ``trace`` runs one figure in-process at
-quick scale and writes a single combined trace (see docs/OBSERVABILITY.md).
+Perfetto trace per sweep point and ``--profile-dir DIR`` one latency-
+attribution report per sweep point; ``trace`` runs one figure in-process
+at quick scale and writes a single combined trace, ``profile`` does the
+same under the in-stream latency profiler and writes a ProfileReport plus
+a collapsed-stack flamegraph (see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -115,6 +120,58 @@ def _run_trace(args, parser) -> int:
     return 0
 
 
+def _run_profile(args, parser) -> int:
+    """``python -m repro profile <figure>`` (or ``--diff a b``): latency
+    attribution from an in-stream profiled quick-scale run."""
+    from repro.obs import (
+        ProfileReport,
+        TraceSession,
+        diff_reports,
+        format_diff,
+        render_summary,
+        write_flamegraph,
+    )
+    from repro.perf.harness import BENCH_FIGURES, resolve_figure
+
+    if args.diff:
+        path_a, path_b = args.diff
+        deltas = diff_reports(ProfileReport.load(path_a),
+                              ProfileReport.load(path_b))
+        print(f"[profile] attribution deltas, {path_a} -> {path_b}:")
+        print(format_diff(deltas), end="")
+        return 0
+
+    if args.target is None:
+        parser.error(
+            "profile needs a figure to run (one of "
+            f"{sorted(BENCH_FIGURES)}) or --diff A.json B.json"
+        )
+    figure = resolve_figure(args.target)
+    if figure is None:
+        parser.error(
+            f"unknown figure {args.target!r}; known: {sorted(BENCH_FIGURES)}"
+        )
+    if args.jobs is not None and args.jobs > 1:
+        print("[profile] note: profiled runs are in-process; ignoring --jobs")
+
+    session = TraceSession(limit=0, profile=True)
+    runner = ParallelSweepRunner(jobs=1)
+    started = time.time()
+    with session:
+        BENCH_FIGURES[figure](ExperimentScale.quick(), runner=runner)
+    elapsed = time.time() - started
+    report = session.profile_report(figure=figure, scale="quick")
+    report.save(args.profile_out)
+    stacks = write_flamegraph(report, args.flame_out)
+    print(render_summary(report), end="")
+    print(f"[profile] {figure} took {elapsed:.1f}s at quick scale "
+          f"({report.events_seen} events profiled in-stream)")
+    print(f"[profile] wrote {args.profile_out} (schema {report.schema})")
+    print(f"[profile] wrote {args.flame_out} ({stacks} collapsed stacks; "
+          "feed to any flamegraph tool)")
+    return 0
+
+
 def main(argv=None) -> int:
     """Run the experiment and print the paper-style rows."""
     parser = argparse.ArgumentParser(
@@ -123,13 +180,14 @@ def main(argv=None) -> int:
     )
     parser.add_argument("experiment",
                         choices=sorted(EXPERIMENTS) + ["all", "list", "bench",
-                                                       "trace"],
+                                                       "trace", "profile"],
                         help="which table/figure to regenerate ('bench' "
                              "times the quick-scale suite and writes the "
                              "perf baseline; 'trace' runs one figure at "
-                             "quick scale with tracing on)")
+                             "quick scale with tracing on; 'profile' runs "
+                             "one figure under the latency profiler)")
     parser.add_argument("target", nargs="?", default=None,
-                        help="trace only: the figure to run traced")
+                        help="trace/profile only: the figure to run")
     parser.add_argument("--quick", action="store_true",
                         help="smoke scale (seconds instead of minutes)")
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
@@ -163,30 +221,56 @@ def main(argv=None) -> int:
     parser.add_argument("--trace-dir", default=None, metavar="DIR",
                         help="figure runs: write one trace per sweep job "
                              "into DIR (also $REPRO_TRACE_DIR)")
+    parser.add_argument("--profile-dir", default=None, metavar="DIR",
+                        help="figure runs: write one latency-attribution "
+                             "report per sweep job into DIR (also "
+                             "$REPRO_PROFILE_DIR)")
+    parser.add_argument("--profile-out", default="profile.json",
+                        metavar="FILE",
+                        help="profile only: ProfileReport JSON output path "
+                             "(default: %(default)s)")
+    parser.add_argument("--flame-out", default="profile.folded",
+                        metavar="FILE",
+                        help="profile only: collapsed-stack flamegraph "
+                             "output path (default: %(default)s)")
+    parser.add_argument("--diff", nargs=2, default=None,
+                        metavar=("A.json", "B.json"),
+                        help="profile only: compare two saved "
+                             "ProfileReports and rank attribution deltas")
+    parser.add_argument("--attribution", action="store_true",
+                        help="bench only: run each figure once more under "
+                             "the latency profiler and write phase "
+                             "attribution into BENCH_results.json")
     args = parser.parse_args(argv)
     if args.jobs is not None and args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
 
     if args.experiment == "trace":
         return _run_trace(args, parser)
+    if args.experiment == "profile":
+        return _run_profile(args, parser)
     if args.target is not None:
-        parser.error("a second positional argument is only valid for 'trace'")
+        parser.error("a second positional argument is only valid for "
+                     "'trace' and 'profile'")
 
     if args.experiment == "list":
         for name, (description, _run) in sorted(EXPERIMENTS.items()):
             print(f"  {name:8s} {description}")
         print("  bench    perf baseline: time every figure at quick scale")
         print("  trace    one traced figure run -> Perfetto JSON")
+        print("  profile  one profiled figure run -> latency attribution")
         return 0
 
     if args.experiment == "bench":
         from repro.perf import run_bench
 
         run_bench(jobs=args.jobs, verify=not args.no_verify,
-                  output=args.output, trace_verify=args.verify_tracing)
+                  output=args.output, trace_verify=args.verify_tracing,
+                  attribution=args.attribution)
         return 0
 
-    runner = ParallelSweepRunner(jobs=args.jobs, trace_dir=args.trace_dir)
+    runner = ParallelSweepRunner(jobs=args.jobs, trace_dir=args.trace_dir,
+                                 profile_dir=args.profile_dir)
     scale = ExperimentScale.quick() if args.quick else ExperimentScale.bench()
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

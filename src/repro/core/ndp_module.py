@@ -69,7 +69,8 @@ class NdpModule(Component):
                 tracer.async_begin(
                     "ndp", "task", self.path, self.now, task.task_id,
                     pid=self.engine.trace_id,
-                    args={"algorithm": task.algorithm.value},
+                    args={"algorithm": task.algorithm.value,
+                          "node": self.node},
                 )
         self.stats.add("tasks_submitted", 1)
         self.scheduler.push_ready(task)

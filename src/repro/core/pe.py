@@ -51,11 +51,17 @@ class PePool(Component):
         self._trace_occupancy()
 
     def _trace_occupancy(self) -> None:
-        """Emit the busy-PE counter track (a live utilization timeline)."""
+        """Emit the busy-PE counter track (a live utilization timeline).
+
+        ``total`` rides along so the profiler can turn the track into a
+        utilization fraction without out-of-band knowledge of the pool
+        size (and Perfetto stacks the two series into a fill gauge).
+        """
         tracer = self.engine.tracer
         if tracer:
             tracer.counter("ndp", "pes_busy", self.path, self.now,
-                           {"busy": self.busy}, pid=self.engine.trace_id)
+                           {"busy": self.busy, "total": self.num_pes},
+                           pid=self.engine.trace_id)
 
     def record_compute(self, algorithm: Algorithm, cycles: int) -> None:
         """Account one compute step (drives the compute-energy term)."""

@@ -31,6 +31,16 @@ class TaskScheduler(Component):
         """A new or resumed task is ready for a PE."""
         self._ready.append(task)
         self.stats.add("ready_pushes", 1)
+        tracer = self.engine.tracer
+        if tracer and tracer.wants("ndp"):
+            # Marks the park -> ready boundary: the latency profiler splits
+            # a task's non-compute time into memory stall (stall -> ready)
+            # and PE wait (ready -> next compute) at this instant.
+            tracer.instant(
+                "ndp", "ready", self.path, self.now,
+                pid=self.engine.trace_id,
+                args={"task": task.task_id, "queue": len(self._ready)},
+            )
         if self.on_ready is not None:
             self.on_ready()
 

@@ -31,7 +31,8 @@ class Host(Component):
     ) -> None:
         super().__init__(engine, name, parent)
         #: Internal forwarding path every host-detoured message crosses.
-        self.bus = Link(engine, f"{name}.bus", self, bus_params)
+        self.bus = Link(engine, f"{name}.bus", self, bus_params,
+                        role="host_bus")
 
     def record_detour(self, wire_bytes: int) -> None:
         """Account one coherence-detour crossing (for the Fig. 9 analysis)."""

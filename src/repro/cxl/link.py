@@ -14,7 +14,7 @@ energy numbers of CACTI-IO / Keckler et al. that the paper cites.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Dict, Optional
 
 from repro.sim.component import Component
 
@@ -47,19 +47,34 @@ IDEAL_LINK_PARAMS = LinkParams(bytes_per_cycle=1.0, latency_cycles=0,
 
 
 class Link(Component):
-    """One direction of a point-to-point channel."""
+    """One direction of a point-to-point channel.
 
-    def __init__(self, engine, name: str, parent, params: LinkParams) -> None:
+    ``role`` labels what the link physically is — ``"cxl_link"`` (a CXL
+    port), ``"switch_bus"``, ``"host_bus"``, ``"ddr_bus"``, or the generic
+    default ``"link"`` — and rides along in every ``xfer`` trace span so
+    the latency-attribution stitcher can split wire time by fabric layer
+    without a side-channel topology map.
+    """
+
+    def __init__(self, engine, name: str, parent, params: LinkParams,
+                 role: str = "link") -> None:
         super().__init__(engine, name, parent)
         self.params = params
+        self.role = role
         self._free_at = 0
 
-    def transfer(self, wire_bytes: int, on_delivered: Callable[[], None]) -> int:
+    def transfer(
+        self,
+        wire_bytes: int,
+        on_delivered: Callable[[], None],
+        tag: Optional[Dict[str, object]] = None,
+    ) -> int:
         """Ship ``wire_bytes``; invoke ``on_delivered`` at arrival.
 
         Returns the delivery cycle.  Transfers serialize in submission
         order (the Bus Controllers arbitrate fairly, which FIFO order
-        approximates).
+        approximates).  ``tag`` adds caller context (request ids, message
+        kind) to the emitted trace span; it is ignored when tracing is off.
         """
         if wire_bytes <= 0:
             raise ValueError("wire_bytes must be positive")
@@ -77,12 +92,18 @@ class Link(Component):
         self.stats.add("busy_cycles", int(serialize))
         tracer = self.engine.tracer
         if tracer and tracer.wants("cxl"):
+            args: Dict[str, object] = {
+                "bytes": wire_bytes,
+                "wait": start - self.now,
+                "arrive": arrive,
+                "role": self.role,
+                "lat": self.params.latency_cycles,
+            }
+            if tag:
+                args.update(tag)
             tracer.complete(
                 "cxl", "xfer", self.path, start, int(serialize),
-                pid=self.engine.trace_id,
-                args={"bytes": wire_bytes,
-                      "wait": start - self.now,
-                      "arrive": arrive},
+                pid=self.engine.trace_id, args=args,
             )
         self.engine.schedule_at(arrive, on_delivered)
         return arrive

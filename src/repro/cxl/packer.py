@@ -15,11 +15,35 @@ channel wrapper the topology builder instantiated".
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.cxl.flit import FLIT_BYTES, Message
 from repro.cxl.link import Link
 from repro.sim.component import Component
+
+
+def _wire_tag(batch: List[Message]) -> Dict[str, object]:
+    """Trace-span tag for a link transfer carrying ``batch``.
+
+    ``reqs`` lists the memory-request ids riding the wire (from each
+    message's cargo, when it is a request) so the latency stitcher can
+    attribute serialization time to individual requests; ``kind`` is the
+    message kind when the batch is uniform.
+    """
+    tag: Dict[str, object] = {}
+    reqs = [
+        req_id
+        for req_id in (
+            getattr(message.cargo, "req_id", None) for message in batch
+        )
+        if req_id is not None
+    ]
+    if reqs:
+        tag["reqs"] = reqs
+    kinds = {message.kind.value for message in batch}
+    if len(kinds) == 1:
+        tag["kind"] = next(iter(kinds))
+    return tag
 
 
 class PackedChannel(Component):
@@ -51,7 +75,10 @@ class PackedChannel(Component):
         if not self.packing or message.packed_wire_bytes >= FLIT_BYTES:
             # Large payloads gain nothing from packing; ship them directly.
             self.stats.add("direct_messages", 1)
-            self.link.transfer(message.unpacked_wire_bytes, message.deliver)
+            tracer = self.engine.tracer
+            tag = _wire_tag([message]) if tracer else None
+            self.link.transfer(message.unpacked_wire_bytes, message.deliver,
+                               tag=tag)
             return
         self._buffer.append(message)
         self._buffer_bytes += message.packed_wire_bytes
@@ -92,19 +119,31 @@ class PackedChannel(Component):
         self.stats.add("packed_flits", wire // FLIT_BYTES)
         self.stats.add("packed_messages", len(batch))
         tracer = self.engine.tracer
+        tag = None
         if tracer:
+            tag = _wire_tag(batch)
+            args: Dict[str, object] = {
+                "messages": len(batch), "payload_bytes": batch_bytes,
+                "wire_bytes": wire,
+                # Per-request buffering time (cycles spent waiting for
+                # co-travellers), aligned index-for-index with ``reqs``.
+                "waits": [
+                    self.now - (m.created_at or self.now)
+                    for m in batch
+                    if getattr(m.cargo, "req_id", None) is not None
+                ],
+            }
+            args.update(tag)
             tracer.instant(
                 "cxl", "flit_flush", self.path, self.now,
-                pid=self.engine.trace_id,
-                args={"messages": len(batch), "payload_bytes": batch_bytes,
-                      "wire_bytes": wire},
+                pid=self.engine.trace_id, args=args,
             )
 
         def deliver_all() -> None:
             for message in batch:
                 message.deliver()
 
-        self.link.transfer(wire, deliver_all)
+        self.link.transfer(wire, deliver_all, tag=tag)
 
     # -- reporting ----------------------------------------------------------------
 

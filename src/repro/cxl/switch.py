@@ -30,7 +30,8 @@ class CxlSwitch(Component):
         super().__init__(engine, name, parent)
         #: The Switch-Bus: all in-switch routing (VCS <-> Switch-Logic <->
         #: downstream ports) crosses it once per turn-around.
-        self.bus = Link(engine, f"{name}.bus", self, bus_params)
+        self.bus = Link(engine, f"{name}.bus", self, bus_params,
+                        role="switch_bus")
         #: Names of DIMM nodes attached below this switch.
         self.dimm_nodes: List[str] = []
         #: Routing table: destination node -> downstream port index (the

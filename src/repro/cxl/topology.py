@@ -135,7 +135,8 @@ class Fabric(Component):
             raise RuntimeError("add_host first")
         self._parent_of[name] = self.host.name
         shared = Link(
-            self.engine, f"{name}.bus", self, self.comm.resolve(self.comm.ddr_channel)
+            self.engine, f"{name}.bus", self,
+            self.comm.resolve(self.comm.ddr_channel), role="ddr_bus",
         )
         self._connect(self.host.name, name, IDEAL_LINK_PARAMS)
         self._shared_buses = getattr(self, "_shared_buses", {})
@@ -166,7 +167,8 @@ class Fabric(Component):
     def _connect(self, a: str, b: str, params: LinkParams) -> None:
         resolved = self.comm.resolve(params)
         for src, dst in ((a, b), (b, a)):
-            link = Link(self.engine, f"{src}->{dst}", self, resolved)
+            link = Link(self.engine, f"{src}->{dst}", self, resolved,
+                        role="cxl_link")
             self._channels[(src, dst)] = self._make_channel(link, f"{src}->{dst}.chan")
 
     def _connect_shared(self, a: str, b: str, shared: Link) -> None:
@@ -303,6 +305,28 @@ class MemoryPool(Component):
         """
         self._atomic_engines[node_name] = engine_obj
 
+    # -- request-lifecycle tracing ------------------------------------------------------
+
+    def _trace_req_begin(self, request: MemoryRequest,
+                         src_node: str, dst_node: str) -> None:
+        """Open the async ``req`` span anchoring this request's lifetime."""
+        tracer = self.engine.tracer
+        if tracer and tracer.wants("req"):
+            tracer.async_begin(
+                "req", "mem_req", self.path, self.now, request.req_id,
+                pid=self.engine.trace_id,
+                args={"task": request.task_id, "src": src_node,
+                      "dst": dst_node, "kind": request.kind.value,
+                      "size": request.size},
+            )
+
+    def _trace_req_end(self, request: MemoryRequest) -> None:
+        """Close the async ``req`` span opened by :meth:`_trace_req_begin`."""
+        tracer = self.engine.tracer
+        if tracer and tracer.wants("req"):
+            tracer.async_end("req", "mem_req", self.path, self.now,
+                             request.req_id, pid=self.engine.trace_id)
+
     # -- the access path ----------------------------------------------------------------
 
     def access(self, request: MemoryRequest, src_node: str) -> None:
@@ -317,6 +341,7 @@ class MemoryPool(Component):
         if request.issued_at is None:
             request.issued_at = self.now
         dst_node = self.dimm_nodes[request.dimm_index]
+        self._trace_req_begin(request, src_node, dst_node)
 
         if request.kind is AccessKind.ATOMIC_RMW:
             if src_node != dst_node:
@@ -356,6 +381,7 @@ class MemoryPool(Component):
     def _finish(self, request: MemoryRequest, callback) -> None:
         request.on_complete = callback
         request.completed_at = self.now
+        self._trace_req_end(request)
         if callback is not None:
             callback(request)
 
@@ -430,14 +456,19 @@ class MemoryPool(Component):
         bias never matters here because the switch owns the DIMM.
         """
         dst_node = self.dimm_nodes[request.dimm_index]
+        self._trace_req_begin(request, src_node, dst_node)
         route_req = self.fabric.route(src_node, dst_node, force_host=False)
         route_resp = self.fabric.route(dst_node, src_node, force_host=False)
+
+        def delivered(req: MemoryRequest) -> None:
+            self._trace_req_end(req)
+            on_done(req)
 
         def on_dram_done(req: MemoryRequest) -> None:
             payload = WRITE_ACK_PAYLOAD if req.is_write else req.size
             self.fabric.send(
                 route_resp, MessageKind.MEM_RESPONSE, payload,
-                on_delivered=lambda: on_done(req), cargo=req,
+                on_delivered=lambda: delivered(req), cargo=req,
             )
 
         def submit() -> None:

@@ -90,6 +90,8 @@ class DimmController(Component):
             return False
         if request.issued_at is None:
             request.issued_at = self.engine.now
+        if request.mc_enqueued_at is None:
+            request.mc_enqueued_at = self.engine.now
         self.stats.add("accepted", 1)
         self.dimm.refresh.notify_activity()
         self._wake(0)
@@ -107,6 +109,8 @@ class DimmController(Component):
         self.dimm.validate_group(request.coord.chips_per_group)
         if request.issued_at is None:
             request.issued_at = self.engine.now
+        if request.mc_enqueued_at is None:
+            request.mc_enqueued_at = self.engine.now
         self.dimm.refresh.notify_activity()
         if not self.queue.full() and not self._waiters:
             self.queue.push(request)
@@ -269,7 +273,8 @@ class DimmController(Component):
         timing = dimm.timing
         bursts = transfer_cycles // timing.tbl
         tracer = self.engine.tracer
-        if tracer and tracer.wants("dram"):
+        trace_dram = bool(tracer) and tracer.wants("dram")
+        if trace_dram:
             # Row-buffer outcome must be read *before* commit mutates it.
             if not activate:
                 row_state = "hit"
@@ -277,24 +282,31 @@ class DimmController(Component):
                 row_state = "miss"
             else:
                 row_state = "conflict"
-            op = "WR" if request.is_write else "RD"
-            tracer.complete(
-                "dram", f"ACT+{op}" if activate else op, self.path,
-                start, pre_data + transfer_cycles,
-                pid=self.engine.trace_id,
-                args={
-                    "row_state": row_state, "rank": coord.rank,
-                    "bank": coord.bank, "row": coord.row,
-                    "chips": coord.chips_per_group, "bursts": bursts,
-                    "queue_depth": len(self.queue) + len(self._waiters),
-                },
-            )
         finish = start
         for bank in banks:
             f = bank.commit(start, coord.row, pre_data, transfer_cycles,
                             activate, timing, request.is_write)
             if f > finish:
                 finish = f
+        if trace_dram:
+            # The span covers the full service window [start, finish) —
+            # completion is scheduled at ``finish`` — so the profiler's
+            # queue/service/response phase boundaries meet exactly.
+            op = "WR" if request.is_write else "RD"
+            enq = request.mc_enqueued_at
+            tracer.complete(
+                "dram", f"ACT+{op}" if activate else op, self.path,
+                start, finish - start,
+                pid=self.engine.trace_id,
+                args={
+                    "row_state": row_state, "rank": coord.rank,
+                    "bank": coord.bank, "row": coord.row,
+                    "chips": coord.chips_per_group, "bursts": bursts,
+                    "queue_depth": len(self.queue) + len(self._waiters),
+                    "req": request.req_id, "task": request.task_id,
+                    "wait": start - enq if enq is not None else 0,
+                },
+            )
         dimm.note_bank_commit(coord.rank, coord.bank)
         if activate:
             dimm.energy.on_activate(chips=coord.chips_per_group)

@@ -95,6 +95,10 @@ class MemoryRequest:
     req_id: int = field(default_factory=lambda: next(_request_ids))
     issued_at: Optional[int] = None
     completed_at: Optional[int] = None
+    #: Cycle the request first reached its DIMM controller (parked or
+    #: queued) — the boundary between fabric time and controller queueing
+    #: in the latency-attribution profiler.
+    mc_enqueued_at: Optional[int] = None
     #: Filled in during routing.
     dimm_index: Optional[int] = None
     coord: Optional[DramCoord] = None

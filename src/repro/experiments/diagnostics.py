@@ -7,6 +7,17 @@ PE utilization and task statistics, packing efficiency.  This is the tool
 used while calibrating the reproduction, kept as a public API because
 downstream users will need the same visibility when they change the
 architecture.
+
+Relationship to the trace-driven profiler (``repro.obs.profile``): both
+report link utilization, row-hit rates, and PE utilization, computed from
+independent instruments — this module reads the systems' own aggregate
+``StatScope`` counters after the run, while the profiler reconstructs the
+same quantities from the per-event trace stream.  The two must agree (a
+cross-check test holds them to a tolerance); where both report the same
+quantity the **profiler is authoritative** for attribution work, because
+it also carries the per-request/per-task decomposition and the diff
+tooling.  This module stays the lightweight option when no recorder is
+installed (diagnostics need no tracing session at all).
 """
 
 from __future__ import annotations

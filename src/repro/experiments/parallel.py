@@ -18,7 +18,12 @@ restricted environments) degrades gracefully to the serial path.
 Per-job tracing: a ``trace_dir`` (argument or ``REPRO_TRACE_DIR``) makes
 every job run inside its own :class:`repro.obs.TraceSession` and write
 ``<trace_dir>/<key>.json`` — one Perfetto-loadable trace per sweep point,
-in workers and in the serial path alike.
+in workers and in the serial path alike.  A ``profile_dir`` (argument or
+``REPRO_PROFILE_DIR``) likewise attaches an in-stream
+:class:`repro.obs.LatencyProfiler` to each job and writes
+``<profile_dir>/<key>.profile.json`` — latency-attribution reports work
+through the process pool exactly like traces, and the two can be
+combined.
 """
 
 from __future__ import annotations
@@ -58,21 +63,44 @@ def trace_path_for(trace_dir: str, key: str) -> str:
     return os.path.join(trace_dir, f"{safe}.json")
 
 
-def _execute_job(job: SweepJob, trace_dir: Optional[str] = None) -> Any:
+def profile_path_for(profile_dir: str, key: str) -> str:
+    """Report file a job with ``key`` writes when profiling into
+    ``profile_dir``."""
+    safe = re.sub(r"[^A-Za-z0-9._-]+", "_", key)
+    return os.path.join(profile_dir, f"{safe}.profile.json")
+
+
+def _execute_job(
+    job: SweepJob,
+    trace_dir: Optional[str] = None,
+    profile_dir: Optional[str] = None,
+) -> Any:
     """Worker entry point (module-level so the pool can pickle it).
 
     With a ``trace_dir``, the job runs under its own trace session and its
-    events are written to :func:`trace_path_for` before returning.
+    events are written to :func:`trace_path_for` before returning; with a
+    ``profile_dir``, an in-stream profiler rides the same session (storing
+    zero events when no trace is wanted) and its
+    :class:`~repro.obs.profile.ProfileReport` is written to
+    :func:`profile_path_for`.
     """
-    if trace_dir is None:
+    if trace_dir is None and profile_dir is None:
         return job.execute()
-    from repro.obs import TraceSession
+    from repro.obs import DEFAULT_EVENT_LIMIT, TraceSession
 
-    os.makedirs(trace_dir, exist_ok=True)
-    session = TraceSession()
+    session = TraceSession(
+        limit=DEFAULT_EVENT_LIMIT if trace_dir is not None else 0,
+        profile=profile_dir is not None,
+    )
     with session:
         result = job.execute()
-    session.save(trace_path_for(trace_dir, job.key))
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
+        session.save(trace_path_for(trace_dir, job.key))
+    if profile_dir is not None:
+        os.makedirs(profile_dir, exist_ok=True)
+        report = session.profile_report(figure=job.key, scale="sweep-job")
+        report.save(profile_path_for(profile_dir, job.key))
     return result
 
 
@@ -86,7 +114,8 @@ class ParallelSweepRunner:
     """
 
     def __init__(self, jobs: Optional[int] = None,
-                 trace_dir: Optional[str] = None) -> None:
+                 trace_dir: Optional[str] = None,
+                 profile_dir: Optional[str] = None) -> None:
         if jobs is None:
             jobs = self._jobs_from_env()
         if jobs < 1:
@@ -98,6 +127,13 @@ class ParallelSweepRunner:
             trace_dir
             if trace_dir is not None
             else os.environ.get("REPRO_TRACE_DIR", "").strip() or None
+        )
+        #: Directory for per-job latency-attribution reports (``None`` =
+        #: profiling off); defaults to ``REPRO_PROFILE_DIR`` when unset.
+        self.profile_dir = (
+            profile_dir
+            if profile_dir is not None
+            else os.environ.get("REPRO_PROFILE_DIR", "").strip() or None
         )
         #: Set after each batch: whether it actually ran on a pool.
         self.last_run_parallel = False
@@ -156,13 +192,18 @@ class ParallelSweepRunner:
 
     def _run_serial(self, jobs: Sequence[SweepJob]) -> Dict[str, Any]:
         self.last_run_parallel = False
-        return {job.key: _execute_job(job, self.trace_dir) for job in jobs}
+        return {
+            job.key: _execute_job(job, self.trace_dir, self.profile_dir)
+            for job in jobs
+        }
 
     def _run_pool(self, jobs: Sequence[SweepJob]) -> Dict[str, Any]:
         workers = min(self.jobs, len(jobs))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
-                pool.submit(_execute_job, job, self.trace_dir) for job in jobs
+                pool.submit(_execute_job, job, self.trace_dir,
+                            self.profile_dir)
+                for job in jobs
             ]
             results = {job.key: f.result() for job, f in zip(jobs, futures)}
         self.last_run_parallel = True

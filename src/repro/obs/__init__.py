@@ -16,17 +16,40 @@ totals are bit-identical with tracing on or off (the perf harness's
 ``--verify-tracing`` mode proves it).  When no recorder is installed the
 instrument sites reduce to one attribute read and a truth test.
 
-See ``docs/OBSERVABILITY.md`` for the category/span reference and a
-worked diagnosis example.
+On top of the raw feed sits the latency-attribution layer
+(``repro.obs.profile`` + ``repro.obs.stitch``): a
+:class:`LatencyProfiler` subscribed to the recorder stitches every memory
+request and NDP task back into an end-to-end phase decomposition in
+stream, producing a deterministic :class:`ProfileReport` artifact,
+collapsed-stack flamegraphs (:func:`write_flamegraph`), and ranked diffs
+between runs (:func:`diff_reports`).
+
+See ``docs/OBSERVABILITY.md`` for the category/span reference, the
+profiling guide, and a worked diagnosis example.
 """
 
 from repro.obs.export import (
+    TraceFormatError,
     busiest_components,
     load_trace,
+    load_trace_payload,
     trace_layers,
     write_chrome_trace,
 )
 from repro.obs.metrics import MetricsSample, MetricsSampler, write_metrics_csv
+from repro.obs.profile import (
+    PROFILE_SCHEMA,
+    AttributionDelta,
+    LatencyProfiler,
+    ProfileReport,
+    build_report,
+    diff_reports,
+    format_diff,
+    profile_events,
+    profile_trace_file,
+    render_summary,
+    write_flamegraph,
+)
 from repro.obs.recorder import (
     DEFAULT_EVENT_LIMIT,
     TRACE_CATEGORIES,
@@ -34,21 +57,39 @@ from repro.obs.recorder import (
     TraceRecorder,
 )
 from repro.obs.session import TraceSession, current_recorder, install, uninstall
+from repro.obs.stitch import RequestProfile, SpanStitcher, StitchedRun, TaskProfile
 
 __all__ = [
+    "AttributionDelta",
     "DEFAULT_EVENT_LIMIT",
+    "LatencyProfiler",
     "MetricsSample",
     "MetricsSampler",
     "NullRecorder",
+    "PROFILE_SCHEMA",
+    "ProfileReport",
+    "RequestProfile",
+    "SpanStitcher",
+    "StitchedRun",
     "TRACE_CATEGORIES",
+    "TaskProfile",
+    "TraceFormatError",
     "TraceRecorder",
     "TraceSession",
+    "build_report",
     "busiest_components",
     "current_recorder",
+    "diff_reports",
+    "format_diff",
     "install",
     "load_trace",
+    "load_trace_payload",
+    "profile_events",
+    "profile_trace_file",
+    "render_summary",
     "trace_layers",
     "uninstall",
     "write_chrome_trace",
+    "write_flamegraph",
     "write_metrics_csv",
 ]

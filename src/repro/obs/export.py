@@ -3,9 +3,10 @@
 :func:`write_chrome_trace` serializes a recorder to the Chrome/Perfetto
 ``trace_event`` JSON object format (a ``traceEvents`` array plus
 ``displayTimeUnit``), loadable by https://ui.perfetto.dev and
-``chrome://tracing``.  :func:`load_trace`, :func:`trace_layers`, and
-:func:`busiest_components` are the matching read-side helpers used by the
-CLI summary, the trace example, and the tests.
+``chrome://tracing``.  :func:`load_trace`, :func:`load_trace_payload`,
+:func:`trace_layers`, and :func:`busiest_components` are the matching
+read-side helpers used by the CLI summary, the trace example, the
+post-hoc profiler, and the tests.
 """
 
 from __future__ import annotations
@@ -14,11 +15,19 @@ import json
 from typing import Dict, List, Sequence, Tuple, Union
 
 
+class TraceFormatError(ValueError):
+    """A trace file is unreadable: truncated/partial JSON (e.g. a run
+    killed mid-write) or a payload without a ``traceEvents`` array."""
+
+
 def write_chrome_trace(recorder, path: str, indent: Union[int, None] = None) -> int:
     """Write ``recorder``'s events as a Chrome trace JSON file.
 
     Returns the number of trace events written (metadata included).
     ``indent`` pretty-prints for humans at the cost of file size.
+    ``otherData`` carries the recorder bookkeeping the post-hoc profiler
+    needs: ``tck_ns``, drop counts, a ``truncated`` flag, and the exact
+    final engine clock per trace pid (``runtimes_cycles``).
     """
     events = recorder.chrome_events()
     payload = {
@@ -29,6 +38,11 @@ def write_chrome_trace(recorder, path: str, indent: Union[int, None] = None) -> 
             "tck_ns": recorder.tck_ns,
             "recorded": recorder.recorded,
             "dropped": recorder.dropped,
+            "truncated": recorder.dropped > 0,
+            "runtimes_cycles": {
+                str(pid): cycles
+                for pid, cycles in sorted(recorder.runtimes.items())
+            },
         },
     }
     with open(path, "w", encoding="utf-8") as handle:
@@ -37,17 +51,45 @@ def write_chrome_trace(recorder, path: str, indent: Union[int, None] = None) -> 
     return len(events)
 
 
+def load_trace_payload(path: str) -> Dict[str, object]:
+    """Load a trace file as its full payload dict.
+
+    Accepts both the object format written by :func:`write_chrome_trace`
+    (returned as-is, ``otherData`` included) and a bare JSON event array
+    (wrapped as ``{"traceEvents": [...]}``).  Raises
+    :class:`TraceFormatError` — naming the file — on truncated or
+    malformed JSON and on payloads without a ``traceEvents`` array,
+    instead of surfacing a bare ``json.JSONDecodeError``.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(
+                f"{path} is not a valid trace file (truncated or partial "
+                f"JSON? {exc.msg} at line {exc.lineno} column {exc.colno})"
+            ) from exc
+    if isinstance(payload, list):
+        return {"traceEvents": payload}
+    if not isinstance(payload, dict) or not isinstance(
+        payload.get("traceEvents"), list
+    ):
+        raise TraceFormatError(
+            f"{path} is not a trace file: expected a JSON event array or "
+            "an object with a 'traceEvents' array"
+        )
+    return payload
+
+
 def load_trace(path: str) -> List[Dict[str, object]]:
     """Load a trace file; returns its ``traceEvents`` list.
 
     Accepts both the object format written here and a bare JSON array
-    (the other legal ``trace_event`` container).
+    (the other legal ``trace_event`` container); raises
+    :class:`TraceFormatError` on unreadable files (see
+    :func:`load_trace_payload`).
     """
-    with open(path, "r", encoding="utf-8") as handle:
-        payload = json.load(handle)
-    if isinstance(payload, list):
-        return payload
-    return list(payload["traceEvents"])
+    return list(load_trace_payload(path)["traceEvents"])
 
 
 def trace_layers(events: Sequence[Dict[str, object]]) -> frozenset:
@@ -72,21 +114,46 @@ def _thread_names(events: Sequence[Dict[str, object]]) -> Dict[Tuple[int, int], 
 def busiest_components(
     events: Sequence[Dict[str, object]], n: int = 5
 ) -> List[Tuple[str, float]]:
-    """Top ``n`` components by total span time, from complete events.
+    """Top ``n`` components by total span time.
 
     Returns ``[(component path, total busy microseconds), ...]`` sorted
-    busiest-first; async and instant events carry no duration and are
-    ignored.  Works on a live recorder's :meth:`chrome_events` output or
-    on a :func:`load_trace` result.
+    busiest-first.  Complete (``"X"``) spans contribute their ``dur``;
+    async (``"b"``/``"e"``) lifetime spans contribute end minus begin,
+    matched by ``(pid, cat, name, id)`` and attributed to the component
+    that opened the span — so task-lifetime activity ranks consistently
+    with duration spans instead of being ignored.  Instants and counters
+    carry no duration.  Works on a live recorder's :meth:`chrome_events`
+    output or on a :func:`load_trace` result.
     """
     names = _thread_names(events)
     busy: Dict[Tuple[int, int], float] = {}
+    open_async: Dict[Tuple[int, str, str, str], Tuple[float, int]] = {}
     for e in events:
-        if e.get("ph") != "X":
-            continue
-        key = (int(e["pid"]), int(e["tid"]))
-        busy[key] = busy.get(key, 0.0) + float(e.get("dur", 0.0))
-    ranked = sorted(busy.items(), key=lambda item: -item[1])[:n]
+        ph = e.get("ph")
+        if ph == "X":
+            key = (int(e["pid"]), int(e["tid"]))
+            busy[key] = busy.get(key, 0.0) + float(e.get("dur", 0.0))
+        elif ph == "b":
+            async_key = (
+                int(e["pid"]), str(e.get("cat", "")),
+                str(e.get("name", "")), str(e.get("id", "")),
+            )
+            open_async[async_key] = (float(e.get("ts", 0.0)), int(e["tid"]))
+        elif ph == "e":
+            async_key = (
+                int(e["pid"]), str(e.get("cat", "")),
+                str(e.get("name", "")), str(e.get("id", "")),
+            )
+            opened = open_async.pop(async_key, None)
+            if opened is None:
+                continue
+            begin_ts, begin_tid = opened
+            span = float(e.get("ts", 0.0)) - begin_ts
+            if span <= 0:
+                continue
+            key = (async_key[0], begin_tid)
+            busy[key] = busy.get(key, 0.0) + span
+    ranked = sorted(busy.items(), key=lambda item: (-item[1], item[0]))[:n]
     return [
         (names.get(key, f"pid{key[0]}.tid{key[1]}"), total)
         for key, total in ranked

@@ -28,8 +28,10 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 #: The instrumented layers.  ``dram`` — controller command/data activity;
 #: ``cxl`` — link serialization, flit packing, routing decisions; ``ndp`` —
 #: PE compute, task lifetimes, stalls; ``mem`` — the memory-management
-#: framework (dedication, allocation, memory clean).
-TRACE_CATEGORIES: Tuple[str, ...] = ("dram", "cxl", "ndp", "mem")
+#: framework (dedication, allocation, memory clean); ``req`` — memory-request
+#: lifecycles (one async span per request from pool entry to completion,
+#: the anchor the latency-attribution stitcher keys on).
+TRACE_CATEGORIES: Tuple[str, ...] = ("dram", "cxl", "ndp", "mem", "req")
 
 #: Default cap on recorded events.  A quick-scale figure campaign emits a
 #: few hundred thousand events; the cap keeps worst-case memory and JSON
@@ -74,6 +76,9 @@ class NullRecorder:
 
     def register_root(self, pid, name, scope) -> None:
         """Ignore a root-component registration."""
+
+    def note_runtime(self, pid, now_cycles) -> None:
+        """Ignore an engine-runtime note."""
 
 
 class TraceRecorder:
@@ -122,6 +127,14 @@ class TraceRecorder:
         #: Optional :class:`~repro.obs.metrics.MetricsSampler`; when set,
         #: every record call gives it a chance to snapshot counters.
         self.metrics = None
+        #: In-stream subscribers: callables invoked with every event dict
+        #: that passes the *category* filter, before the storage cap is
+        #: applied — so a listener (e.g. the latency-attribution profiler)
+        #: sees the complete feed even when ``limit`` truncates storage.
+        self.listeners: List = []
+        #: Final engine clock per trace pid (``Engine.run`` notes its clock
+        #: here on every return), so utilization denominators are exact.
+        self.runtimes: Dict[int, int] = {}
         self._process_names: Dict[int, str] = {}
         self._root_scopes: List[Tuple[int, object]] = []
         self._thread_ids: Dict[Tuple[int, str], int] = {}
@@ -150,6 +163,20 @@ class TraceRecorder:
         """Display name of trace process ``pid`` (root component label)."""
         return self._process_names.get(pid, f"engine{pid}")
 
+    def note_runtime(self, pid: int, now_cycles: int) -> None:
+        """Record the final engine clock of trace process ``pid``."""
+        if now_cycles > self.runtimes.get(pid, 0):
+            self.runtimes[pid] = now_cycles
+
+    def subscribe(self, listener) -> None:
+        """Register an in-stream event subscriber (see :attr:`listeners`)."""
+        self.listeners.append(listener)
+
+    @property
+    def truncated(self) -> bool:
+        """Whether the storage cap dropped at least one event."""
+        return self.dropped > 0
+
     # -- internals -----------------------------------------------------------------
 
     def _us(self, cycles: float) -> float:
@@ -164,16 +191,30 @@ class TraceRecorder:
         return tid
 
     def _admit(self, cat: str, cycle: int, pid: int) -> bool:
-        """Shared front door: drive the metrics sampler, apply the
-        category filter and the event cap."""
+        """Shared front door: drive the metrics sampler and apply the
+        category filter.  The storage cap is applied later, in
+        :meth:`_commit`, so in-stream listeners see capped events too."""
         if self.metrics is not None:
             self.metrics.maybe_sample(self, pid, cycle)
         if self.categories is not None and cat not in self.categories:
             return False
-        if self.limit is not None and len(self.events) >= self.limit:
+        if not self.listeners and (
+            self.limit is not None and len(self.events) >= self.limit
+        ):
+            # No listeners: skip building the event dict entirely.
             self.dropped += 1
             return False
         return True
+
+    def _commit(self, event: Dict[str, object]) -> None:
+        """Dispatch an admitted event to listeners, then store it (or count
+        it as dropped once the storage cap is reached)."""
+        for listener in self.listeners:
+            listener(event)
+        if self.limit is not None and len(self.events) >= self.limit:
+            self.dropped += 1
+            return
+        self.events.append(event)
 
     # -- record API ---------------------------------------------------------------
 
@@ -197,7 +238,7 @@ class TraceRecorder:
         }
         if args:
             event["args"] = args
-        self.events.append(event)
+        self._commit(event)
 
     def instant(
         self,
@@ -218,7 +259,7 @@ class TraceRecorder:
         }
         if args:
             event["args"] = args
-        self.events.append(event)
+        self._commit(event)
 
     def counter(
         self,
@@ -232,7 +273,7 @@ class TraceRecorder:
         """Record a counter sample (``ph: "C"``) — one track per series."""
         if not self._admit(cat, cycle, pid):
             return
-        self.events.append({
+        self._commit({
             "ph": "C", "cat": cat, "name": f"{path}.{name}",
             "pid": pid, "tid": 0,
             "ts": self._us(cycle), "args": dict(values),
@@ -277,7 +318,7 @@ class TraceRecorder:
         }
         if args:
             event["args"] = args
-        self.events.append(event)
+        self._commit(event)
 
     # -- reporting ----------------------------------------------------------------
 

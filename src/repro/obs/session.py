@@ -16,10 +16,12 @@ session inside each worker so every job gets its own trace file.
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterable, Optional
 
 from repro.obs.export import write_chrome_trace
 from repro.obs.metrics import MetricsSampler, write_metrics_csv
+from repro.obs.profile import LatencyProfiler, ProfileReport
 from repro.obs.recorder import DEFAULT_EVENT_LIMIT, TraceRecorder
 from repro.sim.engine import Engine
 
@@ -51,8 +53,11 @@ class TraceSession:
     Parameters mirror :class:`~repro.obs.recorder.TraceRecorder`;
     ``metrics_interval`` additionally attaches a
     :class:`~repro.obs.metrics.MetricsSampler` at that simulated-cycle
-    cadence.  Sessions nest: the previously installed recorder (if any)
-    is restored on exit.
+    cadence, and ``profile=True`` attaches an in-stream
+    :class:`~repro.obs.profile.LatencyProfiler` (which sees the full
+    event feed regardless of ``limit`` — a profiled-only session can run
+    with ``limit=0`` and store nothing).  Sessions nest: the previously
+    installed recorder (if any) is restored on exit.
     """
 
     def __init__(
@@ -61,6 +66,7 @@ class TraceSession:
         limit: Optional[int] = DEFAULT_EVENT_LIMIT,
         metrics_interval: Optional[int] = None,
         tck_ns: float = 1.25,
+        profile: bool = False,
     ) -> None:
         self.recorder = TraceRecorder(
             tck_ns=tck_ns, categories=categories, limit=limit
@@ -69,6 +75,11 @@ class TraceSession:
         if metrics_interval is not None:
             self.sampler = MetricsSampler(metrics_interval)
             self.recorder.metrics = self.sampler
+        self.profiler: Optional[LatencyProfiler] = None
+        if profile:
+            self.profiler = LatencyProfiler(tck_ns=tck_ns).attach(
+                self.recorder
+            )
         self._previous: Optional[TraceRecorder] = None
 
     def __enter__(self) -> "TraceSession":
@@ -86,7 +97,21 @@ class TraceSession:
     def save(self, trace_path: str,
              metrics_path: Optional[str] = None) -> int:
         """Write the trace JSON (and, when sampling, the metrics CSV);
-        returns the number of trace events written."""
+        returns the number of trace events written.
+
+        Warns (one line) when the recorder's event limit actually dropped
+        events, so a silently partial trace never masquerades as a full
+        one; the file itself also carries ``otherData.truncated``.
+        """
+        if self.recorder.truncated:
+            warnings.warn(
+                f"trace truncated: event limit {self.recorder.limit} "
+                f"dropped {self.recorder.dropped} events "
+                f"(kept {self.recorder.recorded}); raise --trace-limit "
+                "for a complete file",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         written = write_chrome_trace(self.recorder, trace_path)
         if metrics_path is not None:
             if self.sampler is None:
@@ -95,3 +120,10 @@ class TraceSession:
                 )
             write_metrics_csv(self.sampler, metrics_path)
         return written
+
+    def profile_report(self, figure: str = "",
+                       scale: str = "") -> ProfileReport:
+        """The in-stream profiler's report (requires ``profile=True``)."""
+        if self.profiler is None:
+            raise ValueError("session has no profiler; pass profile=True")
+        return self.profiler.report(figure=figure, scale=scale)

@@ -12,6 +12,7 @@ from repro.perf.harness import (
     FigureBenchResult,
     bench_figures,
     fingerprint,
+    resolve_figure,
     run_bench,
 )
 
@@ -21,5 +22,6 @@ __all__ = [
     "FigureBenchResult",
     "bench_figures",
     "fingerprint",
+    "resolve_figure",
     "run_bench",
 ]

@@ -25,7 +25,12 @@ so the harness hard-asserts rather than warning.
           "events": <int>,            # simulation events executed
           "events_per_sec": <float>,  # events / wall_s (0 when jobs > 1:
                                       # events then execute in workers)
-          "verified_identical": <bool or null>  # null = verify skipped
+          "verified_identical": <bool or null>,  # null = verify skipped
+          "attribution": <dict or null>  # latency attribution from an
+                                      # in-stream profiled pass (request/
+                                      # task phase totals in cycles plus a
+                                      # per-system bound verdict); null
+                                      # unless benched with attribution
         }, ...
       },
       "total_wall_s": <float>
@@ -36,6 +41,7 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import time
 from dataclasses import dataclass, fields, is_dataclass
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
@@ -70,6 +76,19 @@ BENCH_FIGURES: Dict[str, Callable[..., Any]] = {
     "sec6g": summary.run,
     "scalability": scalability.run,
 }
+
+
+def resolve_figure(name: str) -> Optional[str]:
+    """Resolve a figure name or alias to its :data:`BENCH_FIGURES` key.
+
+    Accepts the bench key itself (``fig16``) and the experiment-module
+    style (``fig16_prealignment``, ``fig16-prealignment``); returns
+    ``None`` when nothing matches.
+    """
+    if name in BENCH_FIGURES:
+        return name
+    head = re.split(r"[_\-.]", name, maxsplit=1)[0]
+    return head if head in BENCH_FIGURES else None
 
 
 # -- result fingerprinting ---------------------------------------------------------
@@ -123,12 +142,15 @@ class BenchMismatchError(AssertionError):
 
 @dataclass
 class FigureBenchResult:
-    """Timing of one figure campaign."""
+    """Timing (and optional latency attribution) of one figure campaign."""
 
     name: str
     wall_s: float
     events: int
     verified_identical: Optional[bool] = None
+    #: Compact latency attribution from a profiled pass (see
+    #: :func:`bench_figures` ``attribution=``), or ``None``.
+    attribution: Optional[Dict[str, Any]] = None
 
     @property
     def events_per_sec(self) -> float:
@@ -140,6 +162,7 @@ class FigureBenchResult:
             "events": self.events,
             "events_per_sec": self.events_per_sec,
             "verified_identical": self.verified_identical,
+            "attribution": self.attribution,
         }
 
 
@@ -181,6 +204,26 @@ def _traced_run(fn: Callable[..., Any], scale: ExperimentScale) -> Any:
         return fn(scale, runner=serial)
 
 
+def _profiled_run(
+    fn: Callable[..., Any], scale: ExperimentScale, figure: str
+) -> Tuple[Any, Dict[str, Any]]:
+    """Serial run with the in-stream profiler attached (zero stored
+    events); returns the figure result and a compact attribution dict."""
+    from repro.obs import TraceSession
+
+    serial = ParallelSweepRunner(jobs=1)
+    with TraceSession(limit=0, profile=True) as session:
+        result = fn(scale, runner=serial)
+    report = session.profile_report(figure=figure, scale="quick")
+    totals = report.totals
+    attribution = {
+        "request_phases_cycles": dict(totals["requests"]["phases_cycles"]),
+        "task_phases_cycles": dict(totals["tasks"]["phases_cycles"]),
+        "bound_by_system": dict(totals["bound_by_system"]),
+    }
+    return result, attribution
+
+
 def bench_figures(
     figures: Optional[Sequence[str]] = None,
     jobs: Optional[int] = None,
@@ -188,6 +231,7 @@ def bench_figures(
     scale: Optional[ExperimentScale] = None,
     progress: Optional[Callable[[str], None]] = None,
     trace_verify: bool = False,
+    attribution: bool = False,
 ) -> List[FigureBenchResult]:
     """Time each figure campaign; optionally verify against the reference.
 
@@ -195,7 +239,10 @@ def bench_figures(
     cycle counts or energy totals differ from the serial/uncached path.
     With ``trace_verify``, each figure additionally runs once with tracing
     enabled and its fingerprint must match the timed run — tracing is
-    observational and must never perturb simulated behaviour.
+    observational and must never perturb simulated behaviour.  With
+    ``attribution``, each figure runs once more under the in-stream
+    latency profiler (which must also leave the fingerprint untouched)
+    and its result row carries the phase-decomposition totals.
     """
     names = list(figures) if figures is not None else list(BENCH_FIGURES)
     unknown = sorted(set(names) - set(BENCH_FIGURES))
@@ -232,6 +279,16 @@ def bench_figures(
                     "untraced run — an instrumentation site is perturbing "
                     "simulated behaviour"
                 )
+        if attribution:
+            if progress:
+                progress(f"[bench] {name}: profiling latency attribution ...")
+            profiled, entry.attribution = _profiled_run(fn, scale, name)
+            if fingerprint(result) != fingerprint(profiled):
+                raise BenchMismatchError(
+                    f"{name}: results with the profiler attached diverge "
+                    "from the unprofiled run — profiling must be purely "
+                    "observational"
+                )
         results.append(entry)
     return results
 
@@ -243,11 +300,13 @@ def run_bench(
     output: str = "BENCH_results.json",
     progress: Optional[Callable[[str], None]] = print,
     trace_verify: bool = False,
+    attribution: bool = False,
 ) -> Dict[str, Any]:
     """The ``python -m repro bench`` entry point: bench, verify, persist."""
     runner = ParallelSweepRunner(jobs=jobs)
     results = bench_figures(figures=figures, jobs=runner.jobs, verify=verify,
-                            progress=progress, trace_verify=trace_verify)
+                            progress=progress, trace_verify=trace_verify,
+                            attribution=attribution)
     payload: Dict[str, Any] = {
         "schema": BENCH_SCHEMA,
         "created_unix": time.time(),

@@ -152,4 +152,9 @@ class Engine:
         finally:
             self._running = False
             Engine._global_events_executed += executed_this_run
+            if self.tracer:
+                # Purely observational: lets the profiler use the exact
+                # final clock as its utilization denominator instead of
+                # approximating runtime from the last event timestamp.
+                self.tracer.note_runtime(self.trace_id, self._now)
         return self._now
