@@ -20,9 +20,13 @@ bench-quick:
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-## Static sanity: byte-compile everything (no third-party linters needed).
+## Static sanity: byte-compile everything, then the simulator-aware
+## static-analysis pass (determinism / cycle-safety / trace-discipline
+## lints; stdlib-only, see docs/ANALYSIS.md).  PYTHONHASHSEED=random
+## proves the lint pass itself is hash-seed-independent.
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples
+	PYTHONHASHSEED=random PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro lint
 
 ## Observability smoke: run the trace example at quick scale and check the
 ## emitted file is valid Perfetto trace_event JSON covering all 4 layers.

@@ -10,6 +10,7 @@ Usage::
     python -m repro trace fig12 --trace-out run.json   # traced quick run
     python -m repro profile fig16        # latency attribution -> profile.json
     python -m repro profile --diff a.json b.json       # rank attribution deltas
+    python -m repro lint                 # simulator-aware static analysis
 
 Sweep points within a figure are independent simulations; ``--jobs N`` (or
 the ``REPRO_JOBS`` environment variable) fans them out over N processes
@@ -174,18 +175,29 @@ def _run_profile(args, parser) -> int:
 
 def main(argv=None) -> int:
     """Run the experiment and print the paper-style rows."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        # The lint pass has its own flag set (--json/--rule/...); hand the
+        # rest of the command line to its parser untouched.
+        from repro.analysis.cli import main as lint_main
+
+        return lint_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the BEACON paper's evaluation artifacts.",
     )
     parser.add_argument("experiment",
                         choices=sorted(EXPERIMENTS) + ["all", "list", "bench",
-                                                       "trace", "profile"],
+                                                       "trace", "profile",
+                                                       "lint"],
                         help="which table/figure to regenerate ('bench' "
                              "times the quick-scale suite and writes the "
                              "perf baseline; 'trace' runs one figure at "
                              "quick scale with tracing on; 'profile' runs "
-                             "one figure under the latency profiler)")
+                             "one figure under the latency profiler; "
+                             "'lint' runs the simulator-aware static-"
+                             "analysis pass)")
     parser.add_argument("target", nargs="?", default=None,
                         help="trace/profile only: the figure to run")
     parser.add_argument("--quick", action="store_true",
@@ -259,6 +271,8 @@ def main(argv=None) -> int:
         print("  bench    perf baseline: time every figure at quick scale")
         print("  trace    one traced figure run -> Perfetto JSON")
         print("  profile  one profiled figure run -> latency attribution")
+        print("  lint     simulator-aware static analysis (determinism, "
+              "cycle-safety, trace discipline)")
         return 0
 
     if args.experiment == "bench":

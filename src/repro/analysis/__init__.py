@@ -1,0 +1,54 @@
+"""repro.analysis — the simulator-aware static-analysis (lint) pass.
+
+A self-contained, stdlib-only AST lint framework plus a rule set written
+for this codebase's determinism contract: no wall-clock reads in
+simulation code, explicit RNG seeds, no hash-order-dependent set
+iteration in the event-ordering layers, integer cycle arithmetic,
+non-negative schedule delays, trace categories drawn from the known
+registry, and the classic Python footguns (dict mutation during
+iteration, mutable default arguments, ``id()``-derived ordering).
+
+Entry points:
+
+* ``python -m repro lint`` (see :mod:`repro.analysis.cli`) — the CLI,
+  wired into ``make lint`` and CI.
+* :func:`lint_paths` / :func:`lint_file` / :func:`lint_source` — the
+  programmatic API; :data:`RULES` is the registry.
+
+docs/ANALYSIS.md documents every rule with rationale and examples.
+"""
+
+from repro.analysis.framework import (
+    BARE_SUPPRESSION,
+    LINT_SCHEMA,
+    PARSE_ERROR,
+    RULES,
+    Finding,
+    LintReport,
+    Module,
+    Rule,
+    default_root,
+    lint_file,
+    lint_paths,
+    lint_source,
+    register,
+)
+from repro.analysis import rules as _rules  # noqa: F401  (registers the rule set)
+from repro.analysis.rules import SIM_DIRS
+
+__all__ = [
+    "BARE_SUPPRESSION",
+    "LINT_SCHEMA",
+    "PARSE_ERROR",
+    "RULES",
+    "SIM_DIRS",
+    "Finding",
+    "LintReport",
+    "Module",
+    "Rule",
+    "default_root",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "register",
+]

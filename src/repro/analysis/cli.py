@@ -1,0 +1,97 @@
+"""``python -m repro lint``: run the simulator-aware static-analysis pass.
+
+Usage::
+
+    python -m repro lint                      # lint src/repro, exit 1 on findings
+    python -m repro lint --json lint.json     # also write the machine report
+    python -m repro lint --rule no-wall-clock # run a subset of rules
+    python -m repro lint --list-rules         # what exists, with scopes
+    python -m repro lint path/to/file.py dir/ # explicit targets
+
+Exit status: 0 when no unsuppressed findings remain, 1 otherwise, 2 on
+usage errors.  See docs/ANALYSIS.md for the rule catalogue and the
+suppression syntax (``# repro: allow[rule-id] -- why``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.framework import RULES, lint_paths
+
+
+def _print_rules() -> None:
+    width = max(len(rule_id) for rule_id in RULES)
+    for rule_id in sorted(RULES):
+        rule = RULES[rule_id]
+        print(f"  {rule_id:<{width}}  {rule.summary}")
+        print(f"  {'':<{width}}  scope: {rule.scope_note}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``python -m repro lint``; returns the exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description="Simulator-aware static analysis: determinism, "
+                    "cycle-safety, and trace-discipline lints.",
+    )
+    parser.add_argument("paths", nargs="*", metavar="PATH",
+                        help="files or directories to lint "
+                             "(default: the in-tree repro package)")
+    parser.add_argument("--json", dest="json_out", metavar="FILE",
+                        default=None,
+                        help="write the machine-readable report "
+                             "(schema repro-lint/1) to FILE")
+    parser.add_argument("--rule", dest="rules", action="append",
+                        metavar="ID", default=None,
+                        help="run only this rule (repeatable); "
+                             "default: all rules")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    parser.add_argument("--show-suppressed", action="store_true",
+                        help="also print suppressed findings")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _print_rules()
+        return 0
+
+    if args.rules:
+        unknown = sorted(set(args.rules) - set(RULES))
+        if unknown:
+            parser.error(
+                f"unknown rule ids {unknown}; known: {sorted(RULES)}"
+            )
+
+    targets = [Path(p) for p in args.paths] if args.paths else None
+    if targets:
+        missing = [str(p) for p in targets if not p.exists()]
+        if missing:
+            parser.error(f"no such file or directory: {missing}")
+
+    report = lint_paths(targets, rules=args.rules)
+    for finding in report.findings:
+        if finding.suppressed:
+            if args.show_suppressed:
+                print(f"{finding.location}: suppressed[{finding.rule}]: "
+                      f"{finding.reason}")
+            continue
+        print(f"{finding.location}: {finding.rule}: {finding.message}")
+
+    if args.json_out:
+        payload = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        Path(args.json_out).write_text(payload + "\n", encoding="utf-8")
+
+    active = report.active
+    print(f"[lint] {report.files_scanned} files, "
+          f"{len(report.rules_run)} rules: "
+          f"{len(active)} finding(s), {len(report.suppressed)} suppressed")
+    return 1 if active else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

@@ -1,0 +1,450 @@
+"""Static-analysis framework: rule registry, suppressions, and reports.
+
+The simulator's correctness contract — bit-identical results for a given
+configuration and workload — is enforced at runtime by the perf harness
+(``python -m repro bench``) and the profiler's fingerprint checks, but
+nothing *prevents* the bug classes that break it (wall-clock reads in
+simulation code, unseeded RNGs, hash-order-dependent set iteration, float
+drift on cycle counters).  This package is the static guardrail: a small
+AST-based lint pass with rules written specifically for this codebase, no
+third-party linter required.
+
+Architecture
+------------
+* :func:`register` adds a :class:`Rule` to the global :data:`RULES`
+  registry.  A rule is a callable ``check(module) -> iterable of
+  (line, col, message)`` plus a *scope* predicate over repo-relative
+  paths, so e.g. the cycle-arithmetic rule only applies to timing
+  modules.  The built-in rule set lives in :mod:`repro.analysis.rules`.
+* :func:`lint_source` parses one file, runs every in-scope rule, and
+  resolves suppressions; :func:`lint_paths` walks directories and
+  aggregates a :class:`LintReport` with a stable, machine-readable
+  ``to_dict()`` form (schema :data:`LINT_SCHEMA`).
+* Suppressions are inline comments::
+
+      risky_line()  # repro: allow[rule-id] -- why this one is safe
+
+  placed on the offending line or alone on the line directly above it.
+  ``# repro: allow-file[rule-id] -- why`` anywhere in a file suppresses
+  the rule for the whole file.  Every suppression must carry an
+  explanation after the bracket; a bare ``allow`` (or one naming an
+  unknown rule) is itself reported under :data:`BARE_SUPPRESSION`, so
+  "silence the linter without saying why" fails CI.
+
+Everything here is stdlib-only and deterministic: files and findings are
+sorted, and the pass never consults the clock or any RNG.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Version tag of the JSON report layout (``LintReport.to_dict()``).
+LINT_SCHEMA = "repro-lint/1"
+
+#: Suppressions shorter than this (after the bracket) count as unexplained.
+MIN_REASON_CHARS = 8
+
+#: Pseudo-rule ids emitted by the framework itself (not registrable).
+BARE_SUPPRESSION = "bare-suppression"
+PARSE_ERROR = "parse-error"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint hit, suppressed or not, at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+    reason: str = ""
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def sort_key(self) -> Tuple[str, int, int, str, str]:
+        return (self.path, self.line, self.col, self.rule, self.message)
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "rule": self.rule, "path": self.path,
+            "line": self.line, "col": self.col, "message": self.message,
+        }
+        if self.suppressed:
+            out["reason"] = self.reason
+        return out
+
+
+@dataclass
+class Module:
+    """One parsed source file, as handed to every in-scope rule."""
+
+    relpath: str
+    source: str
+    tree: ast.Module
+    #: ``line -> comment text`` (including the leading ``#``).
+    comments: Dict[int, str]
+    #: Lines whose only content is a comment (suppression carriers).
+    comment_only_lines: frozenset
+
+
+RawFinding = Tuple[int, int, str]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered lint rule (see :func:`register`)."""
+
+    id: str
+    summary: str
+    check: Callable[[Module], Iterable[RawFinding]]
+    scope: Callable[[str], bool]
+    scope_note: str
+
+
+#: The global rule registry, populated by :mod:`repro.analysis.rules`.
+RULES: Dict[str, Rule] = {}
+
+
+def register(
+    rule_id: str,
+    summary: str,
+    *,
+    scope: Optional[Callable[[str], bool]] = None,
+    scope_note: str = "all of src/repro",
+):
+    """Decorator: add ``func`` to :data:`RULES` under ``rule_id``."""
+    if not re.fullmatch(r"[a-z][a-z0-9-]*", rule_id):
+        raise ValueError(f"rule id must be kebab-case, got {rule_id!r}")
+    if rule_id in (BARE_SUPPRESSION, PARSE_ERROR):
+        raise ValueError(f"{rule_id!r} is reserved for the framework")
+
+    def decorator(func: Callable[[Module], Iterable[RawFinding]]):
+        if rule_id in RULES:
+            raise ValueError(f"duplicate rule id {rule_id!r}")
+        RULES[rule_id] = Rule(
+            id=rule_id,
+            summary=summary,
+            check=func,
+            scope=scope if scope is not None else (lambda rel: True),
+            scope_note=scope_note,
+        )
+        return func
+
+    return decorator
+
+
+def in_dirs(*names: str) -> Callable[[str], bool]:
+    """Scope helper: path contains one of these directory components."""
+    def predicate(relpath: str) -> bool:
+        posix = "/" + relpath.replace("\\", "/")
+        return any(f"/{name}/" in posix for name in names)
+    return predicate
+
+
+def excluding(*suffixes_or_dirs: str) -> Callable[[str], bool]:
+    """Scope helper: everywhere except these path suffixes / directories."""
+    def predicate(relpath: str) -> bool:
+        posix = "/" + relpath.replace("\\", "/")
+        for pattern in suffixes_or_dirs:
+            if pattern.endswith("/"):
+                if f"/{pattern}" in posix or posix.startswith("/" + pattern):
+                    return False
+            elif posix.endswith("/" + pattern):
+                return False
+        return True
+    return predicate
+
+
+# -- suppression comments ------------------------------------------------------
+
+_ALLOW_RE = re.compile(
+    r"repro:\s*allow(?P<file>-file)?\[(?P<rules>[^\]]*)\]"
+    r"\s*(?:[-—–:]+\s*)?(?P<reason>.*)$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A parsed ``# repro: allow[...]`` comment."""
+
+    rules: Tuple[str, ...]
+    reason: str
+    line: int
+    file_level: bool
+
+    def covers(self, rule_id: str) -> bool:
+        return "*" in self.rules or rule_id in self.rules
+
+
+def _extract_comments(source: str) -> Tuple[Dict[int, str], frozenset]:
+    comments: Dict[int, str] = {}
+    comment_only: set = set()
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                comments[tok.start[0]] = tok.string
+                if tok.line.strip().startswith("#"):
+                    comment_only.add(tok.start[0])
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        pass  # ast.parse already vetted the file; best effort here
+    return comments, frozenset(comment_only)
+
+
+def _parse_suppressions(
+    comments: Dict[int, str],
+) -> Tuple[Dict[int, Suppression], List[Suppression], List[Finding]]:
+    """Split comments into line-level and file-level suppressions, plus
+    hygiene findings for unexplained or unknown-rule suppressions."""
+    by_line: Dict[int, Suppression] = {}
+    file_level: List[Suppression] = []
+    hygiene: List[RawFinding] = []
+    for line in sorted(comments):
+        match = _ALLOW_RE.search(comments[line])
+        if match is None:
+            continue
+        ids = tuple(
+            part.strip() for part in match.group("rules").split(",")
+            if part.strip()
+        )
+        supp = Suppression(
+            rules=ids,
+            reason=match.group("reason").strip(),
+            line=line,
+            file_level=match.group("file") is not None,
+        )
+        if not ids:
+            hygiene.append((line, 0, "suppression names no rule ids"))
+        for rule_id in ids:
+            if rule_id != "*" and rule_id not in RULES:
+                hygiene.append(
+                    (line, 0, f"suppression names unknown rule {rule_id!r}")
+                )
+        if len(supp.reason) < MIN_REASON_CHARS:
+            hygiene.append((
+                line, 0,
+                "suppression lacks an explanatory comment: write "
+                "'# repro: allow[rule-id] -- why this is safe'",
+            ))
+        if supp.file_level:
+            file_level.append(supp)
+        else:
+            by_line[line] = supp
+    findings = [
+        Finding(BARE_SUPPRESSION, "", line, col, message)
+        for line, col, message in hygiene
+    ]
+    return by_line, file_level, findings
+
+
+def _find_suppression(
+    rule_id: str,
+    line: int,
+    by_line: Dict[int, Suppression],
+    file_level: Sequence[Suppression],
+    comment_only: frozenset,
+) -> Optional[Suppression]:
+    supp = by_line.get(line)
+    if supp is not None and supp.covers(rule_id):
+        return supp
+    # Walk upward through the contiguous block of comment-only lines
+    # directly above the finding, so a suppression whose explanation
+    # wraps onto several comment lines still applies.
+    above = line - 1
+    while above in comment_only:
+        supp = by_line.get(above)
+        if supp is not None and supp.covers(rule_id):
+            return supp
+        above -= 1
+    for supp in file_level:
+        if supp.covers(rule_id):
+            return supp
+    return None
+
+
+# -- running the pass ----------------------------------------------------------
+
+def _select_rules(rule_ids: Optional[Sequence[str]]) -> List[Rule]:
+    if rule_ids is None:
+        return [RULES[rule_id] for rule_id in sorted(RULES)]
+    unknown = sorted(set(rule_ids) - set(RULES))
+    if unknown:
+        raise KeyError(f"unknown rule ids {unknown}; known: {sorted(RULES)}")
+    return [RULES[rule_id] for rule_id in sorted(set(rule_ids))]
+
+
+def lint_source(
+    source: str,
+    relpath: str,
+    rules: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint one file's source text; ``relpath`` drives rule scoping.
+
+    Returns every finding, suppressed ones included (marked); callers
+    filter on :attr:`Finding.suppressed` for the pass/fail decision.
+    """
+    selected = _select_rules(rules)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [Finding(
+            PARSE_ERROR, relpath, exc.lineno or 1, exc.offset or 0,
+            f"syntax error: {exc.msg}",
+        )]
+    comments, comment_only = _extract_comments(source)
+    module = Module(
+        relpath=relpath, source=source, tree=tree,
+        comments=comments, comment_only_lines=comment_only,
+    )
+    by_line, file_level, hygiene = _parse_suppressions(comments)
+    findings: List[Finding] = []
+    if rules is None:
+        # Suppression hygiene only runs with the full rule set: a filtered
+        # run (--rule X) should not complain about other rules' comments.
+        findings.extend(
+            Finding(f.rule, relpath, f.line, f.col, f.message)
+            for f in hygiene
+        )
+    for rule in selected:
+        if not rule.scope(relpath):
+            continue
+        for line, col, message in rule.check(module):
+            supp = _find_suppression(
+                rule.id, line, by_line, file_level, comment_only
+            )
+            findings.append(Finding(
+                rule.id, relpath, line, col, message,
+                suppressed=supp is not None,
+                reason=supp.reason if supp is not None else "",
+            ))
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def default_root() -> Path:
+    """The in-tree ``repro`` package directory (the default lint target)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def _relpath_for(path: Path, base: Optional[Path]) -> str:
+    path = path.resolve()
+    candidates = [base, default_root().parent, Path.cwd()]
+    for root in candidates:
+        if root is None:
+            continue
+        try:
+            return path.relative_to(root.resolve()).as_posix()
+        except ValueError:
+            continue
+    return path.as_posix()
+
+
+def lint_file(
+    path: Path,
+    relpath: Optional[str] = None,
+    rules: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint one file on disk (see :func:`lint_source`)."""
+    path = Path(path)
+    source = path.read_text(encoding="utf-8")
+    return lint_source(
+        source,
+        relpath if relpath is not None else _relpath_for(path, None),
+        rules=rules,
+    )
+
+
+def _iter_py_files(paths: Sequence[Path]):
+    for path in sorted(Path(p).resolve() for p in paths):
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if "__pycache__" not in sub.parts:
+                    yield sub
+        elif path.suffix == ".py":
+            yield path
+
+
+@dataclass
+class LintReport:
+    """Aggregate result of one lint run over a set of paths."""
+
+    root: str
+    files_scanned: int
+    rules_run: Tuple[str, ...]
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def active(self) -> List[Finding]:
+        """Unsuppressed findings — the ones that fail the run."""
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.active
+
+    def to_dict(self) -> Dict[str, object]:
+        per_rule: Dict[str, Dict[str, object]] = {}
+        for rule_id in self.rules_run:
+            meta = RULES.get(rule_id)
+            per_rule[rule_id] = {
+                "summary": meta.summary if meta else "",
+                "scope": meta.scope_note if meta else "",
+                "active": 0,
+                "suppressed": 0,
+            }
+        for finding in self.findings:
+            entry = per_rule.setdefault(
+                finding.rule,
+                {"summary": "", "scope": "", "active": 0, "suppressed": 0},
+            )
+            entry["suppressed" if finding.suppressed else "active"] += 1
+        return {
+            "schema": LINT_SCHEMA,
+            "root": self.root,
+            "files_scanned": self.files_scanned,
+            "rules": per_rule,
+            "findings": [f.to_dict() for f in self.active],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+        }
+
+
+def lint_paths(
+    paths: Optional[Sequence[Path]] = None,
+    rules: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Lint files/directories (default: the in-tree ``repro`` package)."""
+    if paths is None:
+        root = default_root()
+        targets: List[Path] = [root]
+        base: Optional[Path] = root.parent
+    else:
+        targets = [Path(p) for p in paths]
+        base = None
+    findings: List[Finding] = []
+    files_scanned = 0
+    for path in _iter_py_files(targets):
+        files_scanned += 1
+        findings.extend(lint_file(path, _relpath_for(path, base), rules=rules))
+    findings.sort(key=Finding.sort_key)
+    return LintReport(
+        root=str(base if base is not None else Path.cwd()),
+        files_scanned=files_scanned,
+        rules_run=tuple(rule.id for rule in _select_rules(rules)),
+        findings=findings,
+    )

@@ -42,6 +42,8 @@ def _wire_tag(batch: List[Message]) -> Dict[str, object]:
         tag["reqs"] = reqs
     kinds = {message.kind.value for message in batch}
     if len(kinds) == 1:
+        # repro: allow[no-set-iteration-order] -- guarded by len == 1: taking
+        # the sole element of a singleton set is order-independent.
         tag["kind"] = next(iter(kinds))
     return tag
 

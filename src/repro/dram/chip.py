@@ -31,7 +31,14 @@ class ChipAccessCounters:
         return [int(v) for v in self.bursts.sum(axis=0)]
 
     def normalized(self) -> List[float]:
-        """Per-chip bursts normalized to the mean (the Fig. 13 series)."""
+        """Per-chip bursts normalized to the mean (the Fig. 13 series).
+
+        Float arithmetic is deliberate here and in :meth:`imbalance`: these
+        are post-run *statistics over burst counts* (a normalized series and
+        a coefficient of variation), not cycle timing — nothing downstream
+        schedules events from them, so the int-cycle-arithmetic determinism
+        contract does not apply.
+        """
         totals = np.asarray(self.per_chip(), dtype=np.float64)
         mean = totals.mean()
         if mean == 0:

@@ -99,6 +99,8 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule at cycle {time}; current cycle is {self._now}"
             )
+        # repro: allow[nonneg-schedule-delay] -- the raise above guarantees
+        # time >= self._now, so the subtraction cannot go negative.
         self.schedule(time - self._now, callback)
 
     def stop(self) -> None:

@@ -10,6 +10,11 @@ handle :class:`QueueFullError`; consumers register interest via
 
 from __future__ import annotations
 
+# repro: allow-file[no-id-order] -- the tombstone table is identity-membership
+# only: id(item) keys a dict that is never iterated or sorted, and holding the
+# item reference pins the object so its id cannot be recycled.  FIFO order
+# always comes from the deque, never from the ids.
+
 from collections import deque
 from typing import Callable, Deque, Dict, Generic, Iterator, List, Optional, TypeVar
 

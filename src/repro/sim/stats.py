@@ -31,6 +31,11 @@ class Histogram:
     #: Maximum retained samples per histogram (64 Ki values ≈ 0.5 MB).
     CAP = 65536
 
+    #: Fixed seed for the reservoir's replacement decisions.  Must never be
+    #: None: an unseeded RNG would make the retained sample set (and thus
+    #: percentile estimates) differ between otherwise identical runs.
+    RESERVOIR_SEED = 0x5EED
+
     def __init__(self, cap: Optional[int] = None) -> None:
         self.cap = self.CAP if cap is None else cap
         if self.cap <= 0:
@@ -56,7 +61,11 @@ class Histogram:
         # The seeded RNG is created lazily so bounded histograms cost
         # nothing extra, and deterministically so reruns are identical.
         if self._rng is None:
-            self._rng = random.Random(0x5EED)
+            assert self.RESERVOIR_SEED is not None, (
+                "reservoir RNG must be seeded before the first replacement "
+                "decision; unseeded sampling breaks run-to-run determinism"
+            )
+            self._rng = random.Random(self.RESERVOIR_SEED)
         slot = self._rng.randrange(self._count)
         if slot < self.cap:
             self.values[slot] = value

@@ -76,6 +76,54 @@ class TestHistogram:
         assert hist.mean == 0.0
         assert hist.percentile(50) == 0.0
 
+    def test_reservoir_seed_is_set(self):
+        # The reservoir RNG must be explicitly seeded before the first
+        # replacement decision (sim/stats.py asserts this at run time).
+        assert Histogram.RESERVOIR_SEED is not None
+        hist = Histogram(cap=4)
+        for v in range(10):
+            hist.record(v)
+        assert hist._rng is not None
+        assert hist.saturated
+
+    def test_reservoir_identical_across_hash_seeds(self, tmp_path):
+        """Two identical runs keep identical reservoir contents even under
+        different PYTHONHASHSEED values (regression: the reservoir must not
+        inherit any interpreter-level randomization)."""
+        import json
+        import os
+        import subprocess
+        import sys
+        import textwrap
+
+        script = tmp_path / "reservoir_run.py"
+        script.write_text(textwrap.dedent(
+            """
+            import json, sys
+            from repro.sim.stats import Histogram
+
+            hist = Histogram(cap=64)
+            for v in range(10_000):
+                hist.record((v * 2654435761) % 100_003)
+            json.dump(hist.values, sys.stdout)
+            """
+        ))
+        outputs = []
+        for hash_seed in ("0", "1", "12345"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                p for p in ("src", env.get("PYTHONPATH", "")) if p
+            )
+            proc = subprocess.run(
+                [sys.executable, str(script)],
+                capture_output=True, text=True, env=env,
+                cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            )
+            assert proc.returncode == 0, proc.stderr
+            outputs.append(json.loads(proc.stdout))
+        assert outputs[0] == outputs[1] == outputs[2]
+        assert len(outputs[0]) == 64
+
 
 class TestBoundedQueue:
     def test_fifo_order(self):
