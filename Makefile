@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench-quick bench lint trace-smoke profile-smoke
+.PHONY: test bench-quick bench lint scenarios-smoke trace-smoke profile-smoke
 
 ## Tier-1: the full unit/integration/property suite.
 test:
@@ -27,6 +27,21 @@ bench:
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples
 	PYTHONHASHSEED=random PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro lint
+
+## Scenario smoke: every registered scenario runs end-to-end at quick
+## scale through the scenario layer and must yield a result object
+## (tests/test_scenarios.py holds the stricter non-empty-Report gate).
+scenarios-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -c "\
+	from repro.experiments.scenarios import SCENARIOS, ensure_registered; \
+	from repro.experiments import ExperimentScale, ParallelSweepRunner; \
+	ensure_registered(); \
+	runner = ParallelSweepRunner(jobs=1); \
+	scale = ExperimentScale.quick(); \
+	results = {name: spec.run(scale, runner=runner) \
+	           for name, spec in SCENARIOS.items()}; \
+	assert all(r is not None for r in results.values()), results; \
+	print(f'scenarios-smoke ok: {len(results)} scenarios')"
 
 ## Observability smoke: run the trace example at quick scale and check the
 ## emitted file is valid Perfetto trace_event JSON covering all 4 layers.

@@ -5,6 +5,7 @@ Usage::
     python -m repro list                 # what can be regenerated
     python -m repro fig12                # one figure at bench scale
     python -m repro fig15 --quick        # one figure at smoke scale
+    python -m repro run fig12-fm-seeding # any registered scenario, by alias
     python -m repro all --jobs 4         # the whole evaluation, 4 processes
     python -m repro bench                # perf baseline -> BENCH_results.json
     python -m repro trace fig12 --trace-out run.json   # traced quick run
@@ -29,39 +30,57 @@ import os
 import sys
 import time
 
-from repro.experiments import ExperimentScale, ParallelSweepRunner
-from repro.experiments import (
-    fig3_idealized,
-    fig12_fm_seeding,
-    fig13_coalescing,
-    fig14_hash_seeding,
-    fig15_kmer_counting,
-    fig16_prealignment,
-    fig17_energy_breakdown,
-    summary,
-    tables,
+from repro.experiments import ExperimentScale, ParallelSweepRunner, tables
+from repro.experiments.scenarios import (
+    SCENARIOS,
+    ensure_registered,
+    get_scenario,
+    resolve_scenario,
+    scenario_names,
 )
 
+ensure_registered()
+
+
+def _scenario_entry(name):
+    """(description, runner-callable) pair for one registered scenario."""
+    spec = SCENARIOS[name]
+    return (spec.title,
+            lambda scale, runner: spec.main(scale, runner=runner))
+
+
+#: The paper's artifact catalogue: the scenario-backed figures plus the
+#: two static tables.  (``scalability`` is an extension study: it is
+#: benched and reachable via ``run``, but not part of the paper's set.)
 EXPERIMENTS = {
-    "fig3": ("idealized communication for prior DDR-DIMM NDP",
-             lambda scale, runner: fig3_idealized.main(scale, runner=runner)),
-    "fig12": ("FM-index DNA seeding, step-by-step",
-              lambda scale, runner: fig12_fm_seeding.main(scale, runner=runner)),
-    "fig13": ("per-chip balance from multi-chip coalescing",
-              lambda scale, runner: fig13_coalescing.main(scale, runner=runner)),
-    "fig14": ("Hash-index DNA seeding, step-by-step",
-              lambda scale, runner: fig14_hash_seeding.main(scale, runner=runner)),
-    "fig15": ("k-mer counting, step-by-step",
-              lambda scale, runner: fig15_kmer_counting.main(scale, runner=runner)),
-    "fig16": ("DNA pre-alignment vs CPU",
-              lambda scale, runner: fig16_prealignment.main(scale, runner=runner)),
-    "fig17": ("energy breakdown across the stack",
-              lambda scale, runner: fig17_energy_breakdown.main(scale, runner=runner)),
-    "table1": ("experimental configuration", lambda scale, runner: tables.main()),
-    "table2": ("PE hardware overhead", lambda scale, runner: tables.main()),
-    "sec6g": ("aggregate optimization gains",
-              lambda scale, runner: summary.main(scale, runner=runner)),
+    name: _scenario_entry(name)
+    for name in ("fig3", "fig12", "fig13", "fig14", "fig15", "fig16",
+                 "fig17", "sec6g")
 }
+EXPERIMENTS["table1"] = ("experimental configuration",
+                         lambda scale, runner: tables.main())
+EXPERIMENTS["table2"] = ("PE hardware overhead",
+                         lambda scale, runner: tables.main())
+
+
+def _run_scenario(args, parser) -> int:
+    """``python -m repro run <scenario>``: execute one registered scenario
+    (canonical name or alias) through the unified scenario layer."""
+    if args.target is None:
+        parser.error(f"run needs a scenario: one of {scenario_names()}")
+    canonical = resolve_scenario(args.target)
+    if canonical is None:
+        parser.error(f"unknown scenario {args.target!r}; "
+                     f"known: {scenario_names()}")
+    spec = get_scenario(canonical)
+    runner = ParallelSweepRunner(jobs=args.jobs, trace_dir=args.trace_dir,
+                                 profile_dir=args.profile_dir)
+    scale = ExperimentScale.quick() if args.quick else ExperimentScale.bench()
+    print(f"\n=== {canonical}: {spec.title} ===")
+    started = time.time()
+    spec.main(scale, runner=runner)
+    print(f"[{canonical} took {time.time() - started:.1f}s]")
+    return 0
 
 
 def _run_trace(args, parser) -> int:
@@ -189,17 +208,19 @@ def main(argv=None) -> int:
     )
     parser.add_argument("experiment",
                         choices=sorted(EXPERIMENTS) + ["all", "list", "bench",
-                                                       "trace", "profile",
-                                                       "lint"],
-                        help="which table/figure to regenerate ('bench' "
-                             "times the quick-scale suite and writes the "
-                             "perf baseline; 'trace' runs one figure at "
-                             "quick scale with tracing on; 'profile' runs "
-                             "one figure under the latency profiler; "
-                             "'lint' runs the simulator-aware static-"
-                             "analysis pass)")
+                                                       "run", "trace",
+                                                       "profile", "lint"],
+                        help="which table/figure to regenerate ('run' "
+                             "executes any registered scenario by name or "
+                             "alias; 'bench' times the quick-scale suite "
+                             "and writes the perf baseline; 'trace' runs "
+                             "one figure at quick scale with tracing on; "
+                             "'profile' runs one figure under the latency "
+                             "profiler; 'lint' runs the simulator-aware "
+                             "static-analysis pass)")
     parser.add_argument("target", nargs="?", default=None,
-                        help="trace/profile only: the figure to run")
+                        help="run/trace/profile only: the scenario or "
+                             "figure to execute")
     parser.add_argument("--quick", action="store_true",
                         help="smoke scale (seconds instead of minutes)")
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
@@ -261,14 +282,20 @@ def main(argv=None) -> int:
         return _run_trace(args, parser)
     if args.experiment == "profile":
         return _run_profile(args, parser)
+    if args.experiment == "run":
+        return _run_scenario(args, parser)
     if args.target is not None:
         parser.error("a second positional argument is only valid for "
-                     "'trace' and 'profile'")
+                     "'run', 'trace', and 'profile'")
 
     if args.experiment == "list":
         for name, (description, _run) in sorted(EXPERIMENTS.items()):
             print(f"  {name:8s} {description}")
         print("  bench    perf baseline: time every figure at quick scale")
+        print("  run      any registered scenario by name or alias:")
+        for name in scenario_names():
+            spec = SCENARIOS[name]
+            print(f"    {name:12s} {spec.title}")
         print("  trace    one traced figure run -> Perfetto JSON")
         print("  profile  one profiled figure run -> latency attribution")
         print("  lint     simulator-aware static analysis (determinism, "

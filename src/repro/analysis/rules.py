@@ -41,6 +41,14 @@ from repro.obs.recorder import TRACE_CATEGORIES
 #: inside (or schedules onto) the discrete-event engine.
 SIM_DIRS = ("sim", "dram", "cxl", "core", "memmgmt")
 
+#: Layers whose *outputs* feed fingerprinted results even though they run
+#: host-side: the genomics index structures (shared across runs by the
+#: cross-run cache, so any iteration-order dependence would leak between
+#: sweep points) and the experiment/scenario layer (job keys and
+#: collection order define the bench fingerprint traversal).  The
+#: ordering rules cover these in addition to :data:`SIM_DIRS`.
+ORDERED_OUTPUT_DIRS = SIM_DIRS + ("genomics", "experiments")
+
 
 # -- shared AST helpers --------------------------------------------------------
 
@@ -354,8 +362,9 @@ class _SetOrderScope(ast.NodeVisitor):
     "no-set-iteration-order",
     "iterating a set in the simulator layers is hash-seed-dependent; "
     "wrap in sorted(...)",
-    scope=in_dirs(*SIM_DIRS),
-    scope_note="sim/, dram/, cxl/, core/, memmgmt/",
+    scope=in_dirs(*ORDERED_OUTPUT_DIRS),
+    scope_note="sim/, dram/, cxl/, core/, memmgmt/, genomics/, "
+               "experiments/",
 )
 def check_set_iteration(module: Module) -> List[RawFinding]:
     """Flag iteration over set-typed values in order-sensitive layers."""
@@ -598,8 +607,9 @@ def check_mutable_defaults(module: Module) -> Iterator[RawFinding]:
     "no-id-order",
     "id() is an interpreter address: it varies run-to-run and must never "
     "influence ordering in the simulator layers",
-    scope=in_dirs(*SIM_DIRS),
-    scope_note="sim/, dram/, cxl/, core/, memmgmt/",
+    scope=in_dirs(*ORDERED_OUTPUT_DIRS),
+    scope_note="sim/, dram/, cxl/, core/, memmgmt/, genomics/, "
+               "experiments/",
 )
 def check_id_order(module: Module) -> Iterator[RawFinding]:
     """Flag id() in the ordering-sensitive simulator layers."""

@@ -29,6 +29,8 @@ class DdrNdpSystem(BeaconSystem):
 
     variant = "ddr-ndp"
     pe_hw_key = "BEACON"
+    backend_description = ("generic DDR-DIMM NDP substrate: shared DDR "
+                           "channels, host-mediated inter-DIMM traffic")
 
     def __init__(self, config: BeaconConfig = BeaconConfig(), label: str = "") -> None:
         # The baselines have no BEACON optimizations; the flags only exist

@@ -17,3 +17,5 @@ class Medal(DdrNdpSystem):
 
     variant = "medal"
     pe_hw_key = "MEDAL"
+    backend_description = ("MEDAL (MICRO'19): fine-grained DDR-DIMM NDP "
+                           "baseline for FM/Hash-index DNA seeding")

@@ -19,6 +19,8 @@ class Nest(DdrNdpSystem):
 
     variant = "nest"
     pe_hw_key = "NEST"
+    backend_description = ("NEST (ICCAD'20): multi-pass, DIMM-local k-mer "
+                           "counting baseline with per-DIMM Bloom filters")
 
     def _bloom_region_for(self, module_index: int, size: int):
         """NEST pins each NDP module's filter to its own DIMM."""

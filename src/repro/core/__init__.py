@@ -22,6 +22,14 @@ from repro.core.hwmodel import PE_HARDWARE, PeHardware
 from repro.core.task import AccessSpec, ComputeStep, MemStep, Task
 from repro.core.metrics import Report
 from repro.core.beacon import BeaconD, BeaconS, BeaconSystem
+from repro.core.drivers import DRIVERS, WorkloadDriver, driver_for
+from repro.core.registry import (
+    SystemFactory,
+    backend_names,
+    build_system,
+    get_backend,
+    register_backend,
+)
 
 __all__ = [
     "AccessSpec",
@@ -31,11 +39,19 @@ __all__ = [
     "BeaconS",
     "BeaconSystem",
     "ComputeStep",
+    "DRIVERS",
     "MemStep",
     "OptimizationFlags",
     "PE_COMPUTE_CYCLES",
     "PE_HARDWARE",
     "PeHardware",
     "Report",
+    "SystemFactory",
     "Task",
+    "WorkloadDriver",
+    "backend_names",
+    "build_system",
+    "driver_for",
+    "get_backend",
+    "register_backend",
 ]

@@ -1,50 +1,40 @@
-"""BEACON system assembly and workload runners.
+"""BEACON system assembly: the machine layer of the stack.
 
 :class:`BeaconSystem` builds one complete simulated machine — pool topology,
 NDP modules, Switch-Logic, memory-management framework — for one
-(variant, optimization-flags) point, and exposes one runner per target
-application.  Each runner is execution-driven: it builds the real index
-structures, lets the memory-management framework place them, turns every
-read into a task whose generator runs the actual algorithm, streams the
-tasks from the host into the NDP modules over the fabric, and runs the
-event engine to completion.
+(variant, optimization-flags) point.  *Running* a workload on the built
+machine is the job of the workload drivers (:mod:`repro.core.drivers`):
+the system exposes the machinery drivers need (allocation, task
+dispatch, sharding, report assembly) plus the variant hooks that make
+MEDAL/NEST/BEACON-S differ (Bloom-filter placement, filter-merge
+communication, the default k-mer pass structure), and thin ``run_*``
+wrappers that delegate to the shared driver instances.
 
 A system instance is single-shot: build, run one workload, read the report.
-The experiment harness creates a fresh instance per matrix point, which
-keeps runs independent and deterministic.
+The experiment harness creates a fresh instance per matrix point — via
+:func:`repro.core.registry.build_system` — which keeps runs independent
+and deterministic; running a second workload on a consumed system raises
+:class:`~repro.sim.engine.SimulationError`.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 
 from repro.core.config import Algorithm, BeaconConfig, OptimizationFlags
+from repro.core.drivers import driver_for, profile_fm_blocks
 from repro.core.hwmodel import PE_HARDWARE
 from repro.core.metrics import Report
 from repro.core.ndp_module import NdpModule
 from repro.core.switch_logic import SwitchLogicD, SwitchLogicS
-from repro.core.task import (
-    BloomAccessor,
-    FmIndexAccessor,
-    HashIndexAccessor,
-    ReferenceAccessor,
-    Task,
-    fm_seeding_steps,
-    hash_seeding_steps,
-    kmer_insert_steps,
-    kmer_query_steps,
-    prealign_steps,
-)
+from repro.core.task import Task
 from repro.cxl.flit import MessageKind
 from repro.cxl.topology import MemoryPool
 from repro.dram.dimm import DimmKind
-from repro.genomics.bloom import CountingBloomFilter
 from repro.genomics.fm_index import FMIndex
-from repro.genomics.hash_index import HashIndex
-from repro.genomics.prealign import PrealignResult, ShoujiFilter
-from repro.genomics.workloads import SeedingWorkload, make_prealign_pairs
+from repro.genomics.workloads import SeedingWorkload
 from repro.memmgmt.allocator import PoolAllocator
 from repro.memmgmt.framework import AllocationRequest, MemoryManagementFramework
 from repro.memmgmt.placement import PlacementPlanner
@@ -58,6 +48,8 @@ class BeaconSystem:
     #: Subclasses set these.
     variant: str = "beacon"
     pe_hw_key: str = "BEACON"
+    #: One-line description shown by the backend registry.
+    backend_description: str = "abstract BEACON system (not registered)"
     #: Whether k-mer counting uses the single-pass global-filter flow even
     #: without the BEACON-S flag.  BEACON-D's Atomic Engines make the
     #: global filter the natural flow (one pass over the input, RMWs
@@ -109,7 +101,7 @@ class BeaconSystem:
             near_fraction=cfg.near_fraction,
         )
 
-    # -- shared helpers ----------------------------------------------------------------
+    # -- machinery the drivers use ----------------------------------------------------
 
     def _allocate(self, request: AllocationRequest, build) -> object:
         response = self.framework.allocate(request, build)
@@ -200,120 +192,15 @@ class BeaconSystem:
 
     def _consume(self) -> None:
         if self._consumed:
-            raise RuntimeError(
-                "BeaconSystem instances are single-shot; build a new one per run"
+            raise SimulationError(
+                f"{self.label}: {type(self).__name__} instances are "
+                "single-shot and this one already ran a workload (its event "
+                "engine is drained and its statistics are final); build a "
+                "fresh system per run via repro.core.registry.build_system"
             )
         self._consumed = True
 
-    # -- FM-index based DNA seeding ------------------------------------------------------
-
-    def _profile_fm_blocks(self, fm: FMIndex, reads: Sequence[str],
-                           sample_fraction: float = 0.1) -> np.ndarray:
-        """Access-frequency profile used for hot-block placement.
-
-        The framework profiles a sample of the input (the paper's "data
-        type information ... provided to the BEACON framework"): early
-        backward-search steps hammer a small set of occ blocks, and those
-        belong on the CXLG-DIMMs.
-        """
-        counts = np.zeros(fm.num_blocks, dtype=np.int64)
-        sample = reads[: max(1, int(len(reads) * sample_fraction))]
-        for read in sample:
-            for step in fm.search_trace(read):
-                for block in step.blocks:
-                    counts[block] += 1
-        return counts
-
-    def run_fm_seeding(self, workload: SeedingWorkload) -> Report:
-        """FM-index based DNA seeding over one dataset."""
-        self._consume()
-        fm = FMIndex(workload.reference)
-        hot = (
-            self._profile_fm_blocks(fm, workload.reads)
-            if self.flags.data_placement
-            else None
-        )
-        region = self._allocate(
-            AllocationRequest(
-                application="dna_seeding", algorithm="fm_backward_search",
-                dataset=workload.name, size_bytes=fm.size_bytes,
-            ),
-            lambda: self.planner.fm_index(
-                "fm_index", fm.num_blocks, FMIndex.BLOCK_BYTES, hot
-            ),
-        )
-        accessor = FmIndexAccessor(fm, region)
-        tasks = [
-            Task(
-                algorithm=Algorithm.FM_SEEDING,
-                steps=fm_seeding_steps(accessor, read),
-                payload_bytes=self._task_payload(read),
-            )
-            for read in workload.reads
-        ]
-        self._dispatch_and_run(self._shard(tasks))
-        return self._finish_report(Algorithm.FM_SEEDING, workload.name, len(tasks))
-
-    # -- Hash-index based DNA seeding -------------------------------------------------------
-
-    def run_hash_seeding(
-        self,
-        workload: SeedingWorkload,
-        k: int = 13,
-        bucket_load: int = 4,
-    ) -> Report:
-        """Hash-index (SMALT-style) DNA seeding over one dataset."""
-        self._consume()
-        positions = len(workload.reference) - k + 1
-        index = HashIndex(
-            workload.reference, k=k, stride=1,
-            num_buckets=max(64, positions // bucket_load),
-        )
-        directory = self._allocate(
-            AllocationRequest(
-                application="dna_seeding", algorithm="hash_index",
-                dataset=workload.name, size_bytes=index.directory_bytes,
-            ),
-            lambda: self.planner.hash_directory("hash_dir", index.directory_bytes),
-        )
-        locations = self._allocate(
-            AllocationRequest(
-                application="dna_seeding", algorithm="hash_index",
-                dataset=workload.name, size_bytes=index.locations_bytes,
-            ),
-            lambda: self.planner.hash_locations("hash_loc", index.locations_bytes),
-        )
-        accessor = HashIndexAccessor(index, directory, locations)
-        tasks = [
-            Task(
-                algorithm=Algorithm.HASH_SEEDING,
-                steps=hash_seeding_steps(accessor, read),
-                payload_bytes=self._task_payload(read),
-            )
-            for read in workload.reads
-        ]
-        self._dispatch_and_run(self._shard(tasks))
-        return self._finish_report(Algorithm.HASH_SEEDING, workload.name, len(tasks))
-
-    # -- k-mer counting ------------------------------------------------------------------------
-
-    def run_kmer_counting(
-        self,
-        workload: SeedingWorkload,
-        k: int = 15,
-        num_counters: int = 1 << 18,
-    ) -> Report:
-        """k-mer counting: single-pass when the flag is set, else multi-pass.
-
-        Returns the report; the functional filters are exposed afterwards as
-        ``self.kmer_filters`` (per module) / ``self.kmer_global_filter``.
-        """
-        self._consume()
-        if self.flags.single_pass_kmer or self.kmer_single_pass_default:
-            report = self._run_kmer_single_pass(workload, k, num_counters)
-        else:
-            report = self._run_kmer_multi_pass(workload, k, num_counters)
-        return report
+    # -- variant hooks the k-mer driver consults -----------------------------------
 
     def _bloom_region_for(self, module_index: int, size: int):
         """Placement home of one module's Bloom filter (variant hook)."""
@@ -327,95 +214,6 @@ class BeaconSystem:
     def _module_dimm(self, module_index: int) -> int:
         module = self.ndp_modules[module_index]
         return self.pool.dimm_nodes.index(module.node)
-
-    def _run_kmer_single_pass(self, workload, k: int, num_counters: int) -> Report:
-        bloom = CountingBloomFilter(num_counters, num_hashes=4, counter_bits=4)
-        region = self._allocate(
-            AllocationRequest(
-                application="kmer_counting", algorithm="single_pass",
-                dataset=workload.name, size_bytes=bloom.size_bytes,
-            ),
-            lambda: self.planner.bloom_filter("bloom_global", bloom.size_bytes,
-                                              home_switch=None),
-        )
-        accessor = BloomAccessor(bloom, region)
-        shards = self._shard(workload.reads)
-        tasks_per_module = [
-            [
-                Task(
-                    algorithm=Algorithm.KMER_COUNTING,
-                    steps=kmer_insert_steps(accessor, read, k),
-                    payload_bytes=self._task_payload(read),
-                )
-                for read in shard
-            ]
-            for shard in shards
-        ]
-        self._dispatch_and_run(tasks_per_module)
-        self.kmer_global_filter = bloom
-        self.kmer_filters = [bloom]
-        return self._finish_report(
-            Algorithm.KMER_COUNTING, workload.name, len(workload.reads)
-        )
-
-    def _run_kmer_multi_pass(self, workload, k: int, num_counters: int) -> Report:
-        """NEST's flow: local build (pass 1) -> merge/broadcast -> recount
-        (pass 2).  Both passes process the entire input (Section IV-D)."""
-        locals_: List[CountingBloomFilter] = [
-            CountingBloomFilter(num_counters, num_hashes=4, counter_bits=4)
-            for _ in self.ndp_modules
-        ]
-        regions = []
-        for m, bloom in enumerate(locals_):
-            regions.append(
-                self._allocate(
-                    AllocationRequest(
-                        application="kmer_counting", algorithm="multi_pass",
-                        dataset=workload.name, size_bytes=bloom.size_bytes,
-                    ),
-                    lambda m=m, bloom=bloom: self._bloom_region_for(m, bloom.size_bytes),
-                )
-            )
-        shards = self._shard(workload.reads)
-        # Pass 1: every module builds its local filter over its shard.
-        pass1 = [
-            [
-                Task(
-                    algorithm=Algorithm.KMER_COUNTING,
-                    steps=kmer_insert_steps(BloomAccessor(locals_[m], regions[m]), read, k),
-                    payload_bytes=self._task_payload(read),
-                )
-                for read in shard
-            ]
-            for m, shard in enumerate(shards)
-        ]
-        self._dispatch_and_run(pass1)
-        # Merge: locals -> host, merge, broadcast the global filter back.
-        global_filter = CountingBloomFilter(num_counters, num_hashes=4, counter_bits=4)
-        for bloom in locals_:
-            global_filter.merge(bloom)
-        self._transfer_filters(locals_[0].size_bytes)
-        # Pass 2: every module re-processes its shard against its own copy
-        # of the global filter (plain reads: abundance queries).
-        pass2 = [
-            [
-                Task(
-                    algorithm=Algorithm.KMER_COUNTING,
-                    steps=kmer_query_steps(
-                        BloomAccessor(global_filter, regions[m]), read, k
-                    ),
-                    payload_bytes=self._task_payload(read),
-                )
-                for read in shard
-            ]
-            for m, shard in enumerate(shards)
-        ]
-        self._dispatch_and_run(pass2)
-        self.kmer_global_filter = global_filter
-        self.kmer_filters = locals_
-        return self._finish_report(
-            Algorithm.KMER_COUNTING, workload.name, 2 * len(workload.reads)
-        )
 
     def _transfer_filters(self, filter_bytes: int) -> None:
         """Merge-phase communication: locals to the host, global back out."""
@@ -435,7 +233,43 @@ class BeaconSystem:
         if pending["n"]:
             raise SimulationError("filter merge transfers did not complete")
 
-    # -- DNA pre-alignment ----------------------------------------------------------------------
+    # -- workload runners (delegating to repro.core.drivers) -------------------------
+
+    def _profile_fm_blocks(self, fm: FMIndex, reads: Sequence[str],
+                           sample_fraction: float = 0.1) -> np.ndarray:
+        """Access-frequency profile used for hot-block placement (see
+        :func:`repro.core.drivers.profile_fm_blocks`)."""
+        return profile_fm_blocks(fm, reads, sample_fraction)
+
+    def run_fm_seeding(self, workload: SeedingWorkload) -> Report:
+        """FM-index based DNA seeding over one dataset."""
+        return driver_for(Algorithm.FM_SEEDING).run(self, workload)
+
+    def run_hash_seeding(
+        self,
+        workload: SeedingWorkload,
+        k: int = 13,
+        bucket_load: int = 4,
+    ) -> Report:
+        """Hash-index (SMALT-style) DNA seeding over one dataset."""
+        return driver_for(Algorithm.HASH_SEEDING).run(
+            self, workload, k=k, bucket_load=bucket_load
+        )
+
+    def run_kmer_counting(
+        self,
+        workload: SeedingWorkload,
+        k: int = 15,
+        num_counters: int = 1 << 18,
+    ) -> Report:
+        """k-mer counting: single-pass when the flag is set, else multi-pass.
+
+        Returns the report; the functional filters are exposed afterwards as
+        ``self.kmer_filters`` (per module) / ``self.kmer_global_filter``.
+        """
+        return driver_for(Algorithm.KMER_COUNTING).run(
+            self, workload, k=k, num_counters=num_counters
+        )
 
     def run_prealignment(
         self,
@@ -444,31 +278,10 @@ class BeaconSystem:
         candidates_per_read: int = 4,
     ) -> Report:
         """Shouji-style pre-alignment over seeding candidates."""
-        self._consume()
-        pairs = make_prealign_pairs(workload, max_edits, candidates_per_read)
-        ref_bytes = -(-len(workload.reference) // 4)
-        region = self._allocate(
-            AllocationRequest(
-                application="prealignment", algorithm="shouji",
-                dataset=workload.name, size_bytes=ref_bytes,
-            ),
-            lambda: self.planner.reference("reference", ref_bytes),
+        return driver_for(Algorithm.PREALIGNMENT).run(
+            self, workload, max_edits=max_edits,
+            candidates_per_read=candidates_per_read,
         )
-        accessor = ReferenceAccessor(region)
-        shouji = ShoujiFilter(max_edits=max_edits)
-        self.prealign_results: List[PrealignResult] = []
-        tasks = [
-            Task(
-                algorithm=Algorithm.PREALIGNMENT,
-                steps=prealign_steps(
-                    accessor, shouji, pair, pair.window_start, self.prealign_results
-                ),
-                payload_bytes=self._task_payload(pair.read),
-            )
-            for pair in pairs
-        ]
-        self._dispatch_and_run(self._shard(tasks))
-        return self._finish_report(Algorithm.PREALIGNMENT, workload.name, len(tasks))
 
     # -- Section V extension point -----------------------------------------------------------------
 
@@ -503,13 +316,7 @@ class BeaconSystem:
     def run_algorithm(self, algorithm: Algorithm, workload: SeedingWorkload,
                       **kwargs) -> Report:
         """Run any of the four applications by enum (harness convenience)."""
-        runners: Dict[Algorithm, Callable] = {
-            Algorithm.FM_SEEDING: self.run_fm_seeding,
-            Algorithm.HASH_SEEDING: self.run_hash_seeding,
-            Algorithm.KMER_COUNTING: self.run_kmer_counting,
-            Algorithm.PREALIGNMENT: self.run_prealignment,
-        }
-        return runners[algorithm](workload, **kwargs)
+        return driver_for(algorithm).run(self, workload, **kwargs)
 
 
 class BeaconD(BeaconSystem):
@@ -517,6 +324,8 @@ class BeaconD(BeaconSystem):
 
     variant = "beacon-d"
     pe_hw_key = "BEACON"
+    backend_description = ("BEACON-D: Processing-In-DIMM NDP modules on "
+                           "CXLG-DIMMs (Fig. 4 (a))")
     kmer_single_pass_default = True
 
     def _build_topology(self) -> None:
@@ -559,6 +368,8 @@ class BeaconS(BeaconSystem):
 
     variant = "beacon-s"
     pe_hw_key = "BEACON"
+    backend_description = ("BEACON-S: Processing-In-Switch NDP modules, all "
+                           "DIMMs unmodified (Fig. 4 (b))")
 
     def _build_topology(self) -> None:
         cfg = self.config

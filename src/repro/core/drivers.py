@@ -1,0 +1,359 @@
+"""Workload drivers: one runner per target application, system-agnostic.
+
+Layer 2 of the stack (see docs/ARCHITECTURE.md).  A *driver* owns
+everything algorithm-specific about executing one application on a built
+system: constructing (or fetching from the cross-run
+:mod:`~repro.genomics.index_cache`) the index structures, asking the
+memory-management framework to place them, turning every read into a
+:class:`~repro.core.task.Task` whose generator runs the real algorithm,
+and handing the task shards to the system's dispatch machinery.
+
+The split with :class:`~repro.core.beacon.BeaconSystem` is deliberate:
+
+* the **system** owns the machine — topology, fabric, NDP modules,
+  allocator/planner, report assembly — plus the variant hooks drivers
+  consult (``kmer_single_pass_default``, ``_bloom_region_for``,
+  ``_transfer_filters``);
+* the **driver** owns the workload — indexes, tasks, pass structure.
+
+Any registered backend that exposes the system machinery can run any
+driver, which is what lets MEDAL/NEST (different topology, same
+machinery) and future backends share these four implementations
+unchanged.
+
+Determinism contract: drivers are faithful extractions of the original
+``BeaconSystem.run_*`` bodies — task creation order, allocation order,
+and dispatch order are preserved exactly, so simulated results are
+bit-identical to the pre-refactor monolith (the perf harness enforces
+this).  Index structures obtained from the cache are immutable;
+the counting Bloom filters the simulation mutates are always
+constructed fresh (:func:`repro.genomics.index_cache.fresh_bloom_filter`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, ClassVar, Dict, Sequence
+
+import numpy as np
+
+from repro.core.config import Algorithm
+from repro.core.metrics import Report
+from repro.core.task import (
+    BloomAccessor,
+    FmIndexAccessor,
+    HashIndexAccessor,
+    ReferenceAccessor,
+    Task,
+    fm_seeding_steps,
+    hash_seeding_steps,
+    kmer_insert_steps,
+    kmer_query_steps,
+    prealign_steps,
+)
+from repro.genomics.fm_index import FMIndex
+from repro.genomics.index_cache import fresh_bloom_filter, get_cache
+from repro.genomics.prealign import ShoujiFilter
+from repro.genomics.workloads import SeedingWorkload, make_prealign_pairs
+from repro.memmgmt.framework import AllocationRequest
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.beacon import BeaconSystem
+
+
+def profile_fm_blocks(fm: FMIndex, reads: Sequence[str],
+                      sample_fraction: float = 0.1) -> np.ndarray:
+    """Access-frequency profile used for hot-block placement.
+
+    The framework profiles a sample of the input (the paper's "data
+    type information ... provided to the BEACON framework"): early
+    backward-search steps hammer a small set of occ blocks, and those
+    belong on the CXLG-DIMMs.
+    """
+    counts = np.zeros(fm.num_blocks, dtype=np.int64)
+    sample = reads[: max(1, int(len(reads) * sample_fraction))]
+    for read in sample:
+        for step in fm.search_trace(read):
+            for block in step.blocks:
+                counts[block] += 1
+    return counts
+
+
+class WorkloadDriver:
+    """Base class: run one algorithm's workload on a built system.
+
+    Subclasses set :attr:`algorithm` and implement :meth:`run`, which
+    must consume the system (single-shot), build and place the
+    algorithm's data structures, dispatch the task shards, and return
+    the system's finished :class:`~repro.core.metrics.Report`.
+    """
+
+    #: The algorithm this driver implements.
+    algorithm: ClassVar[Algorithm]
+
+    def run(self, system: "BeaconSystem", workload: SeedingWorkload,
+            **kwargs) -> Report:
+        """Execute the workload on ``system``; returns its report."""
+        raise NotImplementedError
+
+
+class FmSeedingDriver(WorkloadDriver):
+    """FM-index based DNA seeding (BWA-MEM's kernel)."""
+
+    algorithm = Algorithm.FM_SEEDING
+
+    def run(self, system: "BeaconSystem",
+            workload: SeedingWorkload) -> Report:
+        """FM-index based DNA seeding over one dataset."""
+        system._consume()
+        cache = get_cache()
+        fm = cache.fm_index(workload.reference)
+        hot = (
+            cache.fm_hot_profile(
+                fm, workload.reads[: max(1, int(len(workload.reads) * 0.1))],
+                lambda: profile_fm_blocks(fm, workload.reads),
+            )
+            if system.flags.data_placement
+            else None
+        )
+        region = system._allocate(
+            AllocationRequest(
+                application="dna_seeding", algorithm="fm_backward_search",
+                dataset=workload.name, size_bytes=fm.size_bytes,
+            ),
+            lambda: system.planner.fm_index(
+                "fm_index", fm.num_blocks, FMIndex.BLOCK_BYTES, hot
+            ),
+        )
+        accessor = FmIndexAccessor(fm, region)
+        tasks = [
+            Task(
+                algorithm=Algorithm.FM_SEEDING,
+                steps=fm_seeding_steps(accessor, read),
+                payload_bytes=system._task_payload(read),
+            )
+            for read in workload.reads
+        ]
+        system._dispatch_and_run(system._shard(tasks))
+        return system._finish_report(
+            Algorithm.FM_SEEDING, workload.name, len(tasks)
+        )
+
+
+class HashSeedingDriver(WorkloadDriver):
+    """Hash-index (SMALT-style) DNA seeding."""
+
+    algorithm = Algorithm.HASH_SEEDING
+
+    def run(self, system: "BeaconSystem", workload: SeedingWorkload,
+            k: int = 13, bucket_load: int = 4) -> Report:
+        """Hash-index (SMALT-style) DNA seeding over one dataset."""
+        system._consume()
+        positions = len(workload.reference) - k + 1
+        index = get_cache().hash_index(
+            workload.reference, k=k, stride=1,
+            num_buckets=max(64, positions // bucket_load),
+        )
+        directory = system._allocate(
+            AllocationRequest(
+                application="dna_seeding", algorithm="hash_index",
+                dataset=workload.name, size_bytes=index.directory_bytes,
+            ),
+            lambda: system.planner.hash_directory(
+                "hash_dir", index.directory_bytes
+            ),
+        )
+        locations = system._allocate(
+            AllocationRequest(
+                application="dna_seeding", algorithm="hash_index",
+                dataset=workload.name, size_bytes=index.locations_bytes,
+            ),
+            lambda: system.planner.hash_locations(
+                "hash_loc", index.locations_bytes
+            ),
+        )
+        accessor = HashIndexAccessor(index, directory, locations)
+        tasks = [
+            Task(
+                algorithm=Algorithm.HASH_SEEDING,
+                steps=hash_seeding_steps(accessor, read),
+                payload_bytes=system._task_payload(read),
+            )
+            for read in workload.reads
+        ]
+        system._dispatch_and_run(system._shard(tasks))
+        return system._finish_report(
+            Algorithm.HASH_SEEDING, workload.name, len(tasks)
+        )
+
+
+class KmerCountingDriver(WorkloadDriver):
+    """k-mer counting: single-pass global filter or NEST's multi-pass flow.
+
+    The pass structure is selected by the system (its
+    ``single_pass_kmer`` flag or ``kmer_single_pass_default`` variant
+    trait); Bloom-filter *placement* goes through the system's
+    ``_bloom_region_for`` hook so NEST can pin filters to DIMMs.  The
+    functional filters are exposed on the system afterwards as
+    ``system.kmer_filters`` (per module) / ``system.kmer_global_filter``.
+    """
+
+    algorithm = Algorithm.KMER_COUNTING
+
+    def run(self, system: "BeaconSystem", workload: SeedingWorkload,
+            k: int = 15, num_counters: int = 1 << 18) -> Report:
+        """k-mer counting: single-pass when the flag is set, else multi-pass."""
+        system._consume()
+        if system.flags.single_pass_kmer or system.kmer_single_pass_default:
+            return self._run_single_pass(system, workload, k, num_counters)
+        return self._run_multi_pass(system, workload, k, num_counters)
+
+    def _run_single_pass(self, system: "BeaconSystem", workload,
+                         k: int, num_counters: int) -> Report:
+        bloom = fresh_bloom_filter(num_counters)
+        region = system._allocate(
+            AllocationRequest(
+                application="kmer_counting", algorithm="single_pass",
+                dataset=workload.name, size_bytes=bloom.size_bytes,
+            ),
+            lambda: system.planner.bloom_filter(
+                "bloom_global", bloom.size_bytes, home_switch=None
+            ),
+        )
+        accessor = BloomAccessor(bloom, region)
+        shards = system._shard(workload.reads)
+        tasks_per_module = [
+            [
+                Task(
+                    algorithm=Algorithm.KMER_COUNTING,
+                    steps=kmer_insert_steps(accessor, read, k),
+                    payload_bytes=system._task_payload(read),
+                )
+                for read in shard
+            ]
+            for shard in shards
+        ]
+        system._dispatch_and_run(tasks_per_module)
+        system.kmer_global_filter = bloom
+        system.kmer_filters = [bloom]
+        return system._finish_report(
+            Algorithm.KMER_COUNTING, workload.name, len(workload.reads)
+        )
+
+    def _run_multi_pass(self, system: "BeaconSystem", workload,
+                        k: int, num_counters: int) -> Report:
+        """NEST's flow: local build (pass 1) -> merge/broadcast -> recount
+        (pass 2).  Both passes process the entire input (Section IV-D)."""
+        locals_ = [
+            fresh_bloom_filter(num_counters) for _ in system.ndp_modules
+        ]
+        regions = []
+        for m, bloom in enumerate(locals_):
+            regions.append(
+                system._allocate(
+                    AllocationRequest(
+                        application="kmer_counting", algorithm="multi_pass",
+                        dataset=workload.name, size_bytes=bloom.size_bytes,
+                    ),
+                    lambda m=m, bloom=bloom: system._bloom_region_for(
+                        m, bloom.size_bytes
+                    ),
+                )
+            )
+        shards = system._shard(workload.reads)
+        # Pass 1: every module builds its local filter over its shard.
+        pass1 = [
+            [
+                Task(
+                    algorithm=Algorithm.KMER_COUNTING,
+                    steps=kmer_insert_steps(
+                        BloomAccessor(locals_[m], regions[m]), read, k
+                    ),
+                    payload_bytes=system._task_payload(read),
+                )
+                for read in shard
+            ]
+            for m, shard in enumerate(shards)
+        ]
+        system._dispatch_and_run(pass1)
+        # Merge: locals -> host, merge, broadcast the global filter back.
+        global_filter = fresh_bloom_filter(num_counters)
+        for bloom in locals_:
+            global_filter.merge(bloom)
+        system._transfer_filters(locals_[0].size_bytes)
+        # Pass 2: every module re-processes its shard against its own copy
+        # of the global filter (plain reads: abundance queries).
+        pass2 = [
+            [
+                Task(
+                    algorithm=Algorithm.KMER_COUNTING,
+                    steps=kmer_query_steps(
+                        BloomAccessor(global_filter, regions[m]), read, k
+                    ),
+                    payload_bytes=system._task_payload(read),
+                )
+                for read in shard
+            ]
+            for m, shard in enumerate(shards)
+        ]
+        system._dispatch_and_run(pass2)
+        system.kmer_global_filter = global_filter
+        system.kmer_filters = locals_
+        return system._finish_report(
+            Algorithm.KMER_COUNTING, workload.name, 2 * len(workload.reads)
+        )
+
+
+class PrealignmentDriver(WorkloadDriver):
+    """Shouji-style DNA pre-alignment over seeding candidates."""
+
+    algorithm = Algorithm.PREALIGNMENT
+
+    def run(self, system: "BeaconSystem", workload: SeedingWorkload,
+            max_edits: int = 3, candidates_per_read: int = 4) -> Report:
+        """Shouji-style pre-alignment over seeding candidates."""
+        system._consume()
+        pairs = make_prealign_pairs(workload, max_edits, candidates_per_read)
+        ref_bytes = -(-len(workload.reference) // 4)
+        region = system._allocate(
+            AllocationRequest(
+                application="prealignment", algorithm="shouji",
+                dataset=workload.name, size_bytes=ref_bytes,
+            ),
+            lambda: system.planner.reference("reference", ref_bytes),
+        )
+        accessor = ReferenceAccessor(region)
+        shouji = ShoujiFilter(max_edits=max_edits)
+        system.prealign_results = []
+        tasks = [
+            Task(
+                algorithm=Algorithm.PREALIGNMENT,
+                steps=prealign_steps(
+                    accessor, shouji, pair, pair.window_start,
+                    system.prealign_results,
+                ),
+                payload_bytes=system._task_payload(pair.read),
+            )
+            for pair in pairs
+        ]
+        system._dispatch_and_run(system._shard(tasks))
+        return system._finish_report(
+            Algorithm.PREALIGNMENT, workload.name, len(tasks)
+        )
+
+
+#: Algorithm -> shared driver instance.  Drivers are stateless (all state
+#: lives on the system or in locals), so one instance serves every run.
+DRIVERS: Dict[Algorithm, WorkloadDriver] = {
+    driver.algorithm: driver
+    for driver in (
+        FmSeedingDriver(),
+        HashSeedingDriver(),
+        KmerCountingDriver(),
+        PrealignmentDriver(),
+    )
+}
+
+
+def driver_for(algorithm: Algorithm) -> WorkloadDriver:
+    """The shared driver instance for ``algorithm`` (KeyError if none)."""
+    return DRIVERS[algorithm]

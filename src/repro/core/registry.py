@@ -1,0 +1,178 @@
+"""Backend registry: every evaluated system behind one factory protocol.
+
+Layer 1 of the stack (see docs/ARCHITECTURE.md).  The evaluation compares
+six backends — BEACON-D, BEACON-S, the MEDAL and NEST DDR-DIMM NDP
+baselines, the plain DDR-NDP substrate, and the analytic 48-thread CPU
+model — and before this registry existed each experiment module
+hand-picked constructors with its own ``if name == ...`` ladder.  Now
+every backend registers a :class:`SystemFactory` under its canonical
+name, and :func:`build_system` is the single construction path the
+experiment runner, the scenario layer, and the CLI all share.
+
+The protocol is intentionally tiny: a factory has a ``name``, a
+``description``, and a ``build(config, flags, label="")`` returning a
+fresh single-shot system (anything exposing ``run_algorithm``).  What a
+factory does with ``config``/``flags`` is its own business — the DDR
+baselines pin vanilla flags (their papers have no BEACON optimizations)
+and the CPU model is analytic and ignores both.
+
+Built-in factories register lazily on first lookup rather than at import
+time: the baseline classes import :mod:`repro.core.beacon`, which is
+part of the same package as this module, so importing them here at
+module scope would create a cycle.  By the time anyone *builds* a
+system, every module involved is fully initialized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Protocol, Tuple
+
+from repro.core.config import BeaconConfig, OptimizationFlags
+
+
+class SystemFactory(Protocol):
+    """What the registry stores: a named builder of single-shot systems."""
+
+    name: str
+    description: str
+
+    def build(self, config: BeaconConfig, flags: OptimizationFlags,
+              label: str = ""):
+        """Return a fresh system ready to run exactly one workload."""
+        ...
+
+
+@dataclass(frozen=True)
+class SimulatedSystemFactory:
+    """Factory over a :class:`~repro.core.beacon.BeaconSystem` subclass.
+
+    ``accepts_flags`` distinguishes the BEACON variants (whose
+    constructor takes the optimization flags) from the DDR baselines
+    (whose constructor pins vanilla flags; the flags argument is
+    accepted and ignored, preserving the historical ``build_system``
+    contract).
+    """
+
+    name: str
+    description: str
+    cls: type
+    accepts_flags: bool = True
+    aliases: Tuple[str, ...] = ()
+
+    def build(self, config: BeaconConfig, flags: OptimizationFlags,
+              label: str = ""):
+        """Instantiate one single-shot simulated system."""
+        if self.accepts_flags:
+            return self.cls(config=config, flags=flags,
+                            label=label or self.name)
+        return self.cls(config=config, label=label or self.name)
+
+
+@dataclass(frozen=True)
+class AnalyticSystemFactory:
+    """Factory over an analytic (non-simulated) model such as the CPU
+    baseline; ``config``/``flags`` do not apply and are ignored."""
+
+    name: str
+    description: str
+    make: Callable[[], object]
+    aliases: Tuple[str, ...] = ()
+
+    def build(self, config: BeaconConfig, flags: OptimizationFlags,
+              label: str = ""):
+        """Instantiate the analytic model (config and flags ignored)."""
+        return self.make()
+
+
+#: name -> factory.  Aliases resolve through :data:`_ALIASES`.
+_BACKENDS: Dict[str, SystemFactory] = {}
+_ALIASES: Dict[str, str] = {}
+_builtins_registered = False
+
+
+def register_backend(factory: SystemFactory,
+                     aliases: Tuple[str, ...] = ()) -> SystemFactory:
+    """Add ``factory`` to the registry (its declared aliases included).
+
+    Raises ``ValueError`` on a name or alias collision — two backends
+    answering to one name would make ``build_system`` ambiguous.
+    """
+    names = (factory.name,) + tuple(aliases) \
+        + tuple(getattr(factory, "aliases", ()))
+    for name in names:
+        if name in _BACKENDS or name in _ALIASES:
+            raise ValueError(f"backend name {name!r} is already registered")
+    _BACKENDS[factory.name] = factory
+    for alias in names[1:]:
+        _ALIASES[alias] = factory.name
+    return factory
+
+
+def _ensure_builtins() -> None:
+    """Register the six evaluated backends (idempotent, import-cycle-safe)."""
+    global _builtins_registered
+    if _builtins_registered:
+        return
+    _builtins_registered = True
+    from repro.baselines.cpu import CpuModel
+    from repro.baselines.ddr import DdrNdpSystem
+    from repro.baselines.medal import Medal
+    from repro.baselines.nest import Nest
+    from repro.core.beacon import BeaconD, BeaconS
+
+    for cls, accepts_flags, aliases in (
+        (BeaconD, True, ()),
+        (BeaconS, True, ()),
+        (Medal, False, ()),
+        (Nest, False, ()),
+        (DdrNdpSystem, False, ("ddr",)),
+    ):
+        register_backend(SimulatedSystemFactory(
+            name=cls.variant,
+            description=cls.backend_description,
+            cls=cls,
+            accepts_flags=accepts_flags,
+            aliases=aliases,
+        ))
+    register_backend(AnalyticSystemFactory(
+        name="cpu",
+        description=CpuModel.backend_description,
+        make=CpuModel,
+        aliases=("cpu48",),
+    ))
+
+
+def get_backend(name: str) -> SystemFactory:
+    """The factory registered under ``name`` (or an alias of it).
+
+    Raises ``ValueError`` for unknown names, listing what exists.
+    """
+    _ensure_builtins()
+    canonical = _ALIASES.get(name, name)
+    try:
+        return _BACKENDS[canonical]
+    except KeyError:
+        raise ValueError(
+            f"unknown system {name!r}; registered backends: "
+            f"{backend_names()}"
+        ) from None
+
+
+def backend_names(include_aliases: bool = False) -> List[str]:
+    """Canonical backend names, registration order (aliases optional)."""
+    _ensure_builtins()
+    names = list(_BACKENDS)
+    if include_aliases:
+        names += sorted(_ALIASES)
+    return names
+
+
+def build_system(name: str, config: BeaconConfig,
+                 flags: OptimizationFlags, label: str = ""):
+    """Instantiate a (single-shot) system by registered name.
+
+    The one construction path of the stack: the experiment runner, the
+    scenario specs, and the CLI all come through here.
+    """
+    return get_backend(name).build(config, flags, label=label)

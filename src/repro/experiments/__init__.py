@@ -1,10 +1,15 @@
 """Experiment harness: one module per table/figure of the paper.
 
-Every module exposes a ``run(scale)`` function returning a structured
-result object and a ``main()`` that prints the paper-style rows; the
-``benchmarks/`` suite calls ``run`` with the bench scale and asserts the
-qualitative claims (who wins, step gains, % of ideal), while
-``python -m repro.experiments.<figure>`` reproduces the full printout.
+Every campaign module registers a :class:`~repro.experiments.scenarios.
+ScenarioSpec` describing its job fan-out, result collection, and
+paper-style printout; the scenario registry (``run_scenario`` /
+``main_scenario``) is the uniform entry point the perf harness and
+``python -m repro run <scenario>`` share.  Each module still exposes a
+``run(scale)`` returning its structured result object and a ``main()``
+printing the paper-style rows, so ``python -m repro.experiments.
+<figure>`` keeps working; the ``benchmarks/`` suite calls ``run`` with
+the bench scale and asserts the qualitative claims (who wins, step
+gains, % of ideal).
 
 See DESIGN.md's experiment index for the figure-to-module mapping and
 EXPERIMENTS.md for paper-vs-measured numbers.
@@ -22,14 +27,30 @@ from repro.experiments.runner import (
     build_system,
     run_step_sweep,
 )
+from repro.experiments.scenarios import (
+    ScenarioSpec,
+    get_scenario,
+    main_scenario,
+    register_scenario,
+    resolve_scenario,
+    run_scenario,
+    scenario_names,
+)
 
 __all__ = [
     "ExperimentScale",
     "ParallelSweepRunner",
+    "ScenarioSpec",
     "StepResult",
     "SweepJob",
     "SweepResult",
     "build_system",
+    "get_scenario",
+    "main_scenario",
+    "register_scenario",
     "resolve_runner",
+    "resolve_scenario",
+    "run_scenario",
     "run_step_sweep",
+    "scenario_names",
 ]

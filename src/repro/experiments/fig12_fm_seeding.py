@@ -8,14 +8,15 @@ Paper (averages over the five genomes):
 * BEACON-S: vanilla = 146.64x CPU / 1.22x MEDAL; packing 1.08x, memory
   access opt 1.57x, placement 1.18x; full = 291.62x CPU / 2.42x MEDAL;
   98.48% of idealized.
+
+Fig. 14 is the same campaign shape over hash seeding, so the job builder,
+collector, and presenter here are parameterized by algorithm and shared.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
-
-from typing import Optional
+from typing import Any, Dict, List, Optional
 
 from repro.core.config import Algorithm
 from repro.core.metrics import geometric_mean
@@ -30,6 +31,7 @@ from repro.experiments.runner import (
     print_sweep,
     run_step_sweep,
 )
+from repro.experiments.scenarios import ScenarioSpec, register_scenario
 
 ALGORITHM = Algorithm.FM_SEEDING
 
@@ -68,11 +70,9 @@ class SeedingFigureResult:
         return [s.label for s in self.sweeps[system][0].steps]
 
 
-def run(scale: ExperimentScale = ExperimentScale.bench(),
-        algorithm: Algorithm = ALGORITHM,
-        runner: Optional[ParallelSweepRunner] = None) -> SeedingFigureResult:
-    """Execute the per-dataset sweeps for both variants at ``scale``."""
-    runner = resolve_runner(runner)
+def seeding_jobs(scale: ExperimentScale,
+                 algorithm: Algorithm) -> List[SweepJob]:
+    """Per-(dataset, variant) cumulative sweeps for a seeding figure."""
     jobs = []
     for spec in scale.seeding_datasets():
         workload = scale.seeding_workload(spec)
@@ -84,19 +84,20 @@ def run(scale: ExperimentScale = ExperimentScale.bench(),
                 kwargs={"with_ideal": True, "baseline": "medal",
                         "with_cpu": True},
             ))
-    results = runner.run(jobs)
+    return jobs
+
+
+def collect_seeding(scale: ExperimentScale,
+                    results: Dict[str, Any]) -> SeedingFigureResult:
+    """Group the finished sweeps by variant (job key = dataset/system)."""
     sweeps: Dict[str, List[SweepResult]] = {"beacon-d": [], "beacon-s": []}
     for key, sweep in results.items():
         sweeps[key.split("/", 1)[1]].append(sweep)
     return SeedingFigureResult(sweeps)
 
 
-def main(scale: ExperimentScale = ExperimentScale.bench(),
-         algorithm: Algorithm = ALGORITHM,
-         figure_name: str = "Fig. 12 — FM-index based DNA seeding",
-         runner: Optional[ParallelSweepRunner] = None) -> SeedingFigureResult:
-    """Run the experiment and print the paper-style rows."""
-    result = run(scale, algorithm, runner=runner)
+def present_seeding(result: SeedingFigureResult, figure_name: str) -> None:
+    """Print the paper-style step tables and per-variant averages."""
     print(f"\n{figure_name}")
     for system in ("beacon-d", "beacon-s"):
         for sweep in result.sweeps[system]:
@@ -109,6 +110,47 @@ def main(scale: ExperimentScale = ExperimentScale.bench(),
         print(f"  full vs CPU:   x{result.mean_speedup_vs_cpu(system):.1f}")
         print(f"  % of idealized communication: "
               f"{result.mean_percent_of_ideal(system):.1%}")
+
+
+def build_jobs(scale: ExperimentScale) -> List[SweepJob]:
+    """This figure's jobs: the seeding campaign over FM-index seeding."""
+    return seeding_jobs(scale, ALGORITHM)
+
+
+def present(result: SeedingFigureResult) -> None:
+    """Print the paper-style rows for one collected result."""
+    present_seeding(result, "Fig. 12 — FM-index based DNA seeding")
+
+
+SPEC = register_scenario(ScenarioSpec(
+    name="fig12",
+    title="FM-index seeding optimization ladder",
+    description="cumulative optimization sweeps of both BEACON variants on "
+                "FM-index seeding, vs MEDAL / CPU / idealized twins",
+    build_jobs=build_jobs,
+    collect=collect_seeding,
+    present=present,
+    aliases=("fig12_fm_seeding", "fig12-fm-seeding"),
+))
+
+
+def run(scale: ExperimentScale = ExperimentScale.bench(),
+        algorithm: Algorithm = ALGORITHM,
+        runner: Optional[ParallelSweepRunner] = None) -> SeedingFigureResult:
+    """Execute the per-dataset sweeps for both variants at ``scale``."""
+    if algorithm is ALGORITHM:
+        return SPEC.run(scale, runner=runner)
+    results = resolve_runner(runner).run(seeding_jobs(scale, algorithm))
+    return collect_seeding(scale, results)
+
+
+def main(scale: ExperimentScale = ExperimentScale.bench(),
+         algorithm: Algorithm = ALGORITHM,
+         figure_name: str = "Fig. 12 — FM-index based DNA seeding",
+         runner: Optional[ParallelSweepRunner] = None) -> SeedingFigureResult:
+    """Run the experiment and print the paper-style rows."""
+    result = run(scale, algorithm, runner=runner)
+    present_seeding(result, figure_name)
     return result
 
 

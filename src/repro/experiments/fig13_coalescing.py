@@ -10,16 +10,13 @@ chip counters.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core import BeaconD
 from repro.core.config import Algorithm, OptimizationFlags
-from repro.experiments.parallel import (
-    ParallelSweepRunner,
-    SweepJob,
-    resolve_runner,
-)
+from repro.experiments.parallel import ParallelSweepRunner, SweepJob
 from repro.experiments.runner import ExperimentScale
+from repro.experiments.scenarios import ScenarioSpec, register_scenario
 
 
 @dataclass
@@ -62,14 +59,16 @@ def _coalescing_point(scale: ExperimentScale,
     return _cxlg_chip_profile(system)
 
 
-def run(scale: ExperimentScale = ExperimentScale.bench(),
-        runner: Optional[ParallelSweepRunner] = None) -> Fig13Result:
-    """Execute the experiment at ``scale``; returns the result object."""
-    runner = resolve_runner(runner)
-    results = runner.run([
+def build_jobs(scale: ExperimentScale) -> List[SweepJob]:
+    """Two full-stack BEACON-D runs: coalescing off, coalescing on."""
+    return [
         SweepJob("without", _coalescing_point, (scale, False)),
         SweepJob("with", _coalescing_point, (scale, True)),
-    ])
+    ]
+
+
+def collect(scale: ExperimentScale, results: Dict[str, Any]) -> Fig13Result:
+    """Pair the two chip profiles into the figure result."""
     series_without, imbalance_without = results["without"]
     series_with, imbalance_with = results["with"]
     return Fig13Result(
@@ -80,17 +79,38 @@ def run(scale: ExperimentScale = ExperimentScale.bench(),
     )
 
 
-def main(scale: ExperimentScale = ExperimentScale.bench(),
-         runner: Optional[ParallelSweepRunner] = None) -> Fig13Result:
-    """Run the experiment and print the paper-style rows."""
-    result = run(scale, runner=runner)
+def present(result: Fig13Result) -> None:
+    """Print the paper-style rows for one collected result."""
     print("\nFig. 13 — normalized memory access per DRAM chip (CXLG-DIMMs)")
     print("chip:            " + "".join(f"{c:7d}" for c in range(len(result.without_coalescing))))
     print("w/o coalescing:  " + "".join(f"{v:7.2f}" for v in result.without_coalescing))
     print("w/  coalescing:  " + "".join(f"{v:7.2f}" for v in result.with_coalescing))
     print(f"imbalance (coeff. of variation): "
           f"{result.imbalance_without:.3f} -> {result.imbalance_with:.3f}")
-    return result
+
+
+SPEC = register_scenario(ScenarioSpec(
+    name="fig13",
+    title="multi-chip coalescing chip balance",
+    description="per-DRAM-chip access balance of BEACON-D FM seeding with "
+                "and without multi-chip coalescing",
+    build_jobs=build_jobs,
+    collect=collect,
+    present=present,
+    aliases=("fig13_coalescing", "fig13-coalescing"),
+))
+
+
+def run(scale: ExperimentScale = ExperimentScale.bench(),
+        runner: Optional[ParallelSweepRunner] = None) -> Fig13Result:
+    """Execute the experiment at ``scale``; returns the result object."""
+    return SPEC.run(scale, runner=runner)
+
+
+def main(scale: ExperimentScale = ExperimentScale.bench(),
+         runner: Optional[ParallelSweepRunner] = None) -> Fig13Result:
+    """Run the experiment and print the paper-style rows."""
+    return SPEC.main(scale, runner=runner)
 
 
 if __name__ == "__main__":

@@ -7,33 +7,61 @@ Paper (averages over the five genomes):
   572.17x CPU / 4.70x MEDAL; 98.59% of idealized.
 * BEACON-S: vanilla = 302.48x CPU / 2.48x MEDAL; memory access opt 1.50x,
   placement 1.21x; full = 556.66x CPU / 4.57x MEDAL; 98.64% of idealized.
+
+The campaign shape is Fig. 12's over a different algorithm, so the spec
+reuses that module's shared job builder / collector / presenter.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 from repro.core.config import Algorithm
-from repro.experiments.fig12_fm_seeding import SeedingFigureResult, run as _run
-from repro.experiments.fig12_fm_seeding import main as _main
-from repro.experiments.parallel import ParallelSweepRunner
+from repro.experiments.fig12_fm_seeding import (
+    SeedingFigureResult,
+    collect_seeding,
+    present_seeding,
+    seeding_jobs,
+)
+from repro.experiments.parallel import ParallelSweepRunner, SweepJob
 from repro.experiments.runner import ExperimentScale
+from repro.experiments.scenarios import ScenarioSpec, register_scenario
 
 ALGORITHM = Algorithm.HASH_SEEDING
+
+
+def build_jobs(scale: ExperimentScale) -> List[SweepJob]:
+    """This figure's jobs: the seeding campaign over hash-index seeding."""
+    return seeding_jobs(scale, ALGORITHM)
+
+
+def present(result: SeedingFigureResult) -> None:
+    """Print the paper-style rows for one collected result."""
+    present_seeding(result, "Fig. 14 — Hash-index based DNA seeding")
+
+
+SPEC = register_scenario(ScenarioSpec(
+    name="fig14",
+    title="hash-index seeding optimization ladder",
+    description="cumulative optimization sweeps of both BEACON variants on "
+                "hash-index seeding, vs MEDAL / CPU / idealized twins",
+    build_jobs=build_jobs,
+    collect=collect_seeding,
+    present=present,
+    aliases=("fig14_hash_seeding", "fig14-hash-seeding"),
+))
 
 
 def run(scale: ExperimentScale = ExperimentScale.bench(),
         runner: Optional[ParallelSweepRunner] = None) -> SeedingFigureResult:
     """Execute the experiment at ``scale``; returns the result object."""
-    return _run(scale, ALGORITHM, runner=runner)
+    return SPEC.run(scale, runner=runner)
 
 
 def main(scale: ExperimentScale = ExperimentScale.bench(),
          runner: Optional[ParallelSweepRunner] = None) -> SeedingFigureResult:
     """Run the experiment and print the paper-style rows."""
-    return _main(scale, ALGORITHM,
-                 figure_name="Fig. 14 — Hash-index based DNA seeding",
-                 runner=runner)
+    return SPEC.main(scale, runner=runner)
 
 
 if __name__ == "__main__":

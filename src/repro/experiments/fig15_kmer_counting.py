@@ -14,20 +14,17 @@ Paper (human 50x):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.core.config import Algorithm
-from repro.experiments.parallel import (
-    ParallelSweepRunner,
-    SweepJob,
-    resolve_runner,
-)
+from repro.experiments.parallel import ParallelSweepRunner, SweepJob
 from repro.experiments.runner import (
     ExperimentScale,
     SweepResult,
     print_sweep,
     run_step_sweep,
 )
+from repro.experiments.scenarios import ScenarioSpec, register_scenario
 
 ALGORITHM = Algorithm.KMER_COUNTING
 
@@ -40,12 +37,10 @@ class Fig15Result:
         return self.sweeps[system]
 
 
-def run(scale: ExperimentScale = ExperimentScale.bench(),
-        runner: Optional[ParallelSweepRunner] = None) -> Fig15Result:
-    """Execute the experiment at ``scale``; returns the result object."""
-    runner = resolve_runner(runner)
+def build_jobs(scale: ExperimentScale) -> List[SweepJob]:
+    """One cumulative sweep per BEACON variant on the k-mer workload."""
     workload = scale.kmer_workload()
-    sweeps: Dict[str, SweepResult] = runner.run([
+    return [
         SweepJob(
             key=system,
             func=run_step_sweep,
@@ -54,20 +49,45 @@ def run(scale: ExperimentScale = ExperimentScale.bench(),
                     "k": scale.kmer_k, "num_counters": scale.num_counters},
         )
         for system in ("beacon-d", "beacon-s")
-    ])
-    return Fig15Result(sweeps)
+    ]
 
 
-def main(scale: ExperimentScale = ExperimentScale.bench(),
-         runner: Optional[ParallelSweepRunner] = None) -> Fig15Result:
-    """Run the experiment and print the paper-style rows."""
-    result = run(scale, runner=runner)
+def collect(scale: ExperimentScale, results: Dict[str, Any]) -> Fig15Result:
+    """The runner's mapping is already system -> sweep."""
+    return Fig15Result(dict(results))
+
+
+def present(result: Fig15Result) -> None:
+    """Print the paper-style rows for one collected result."""
     print("\nFig. 15 — k-mer counting (human 50x stand-in)")
     for system, sweep in result.sweeps.items():
         print_sweep(sweep)
         print(f"  total optimization gain: x{sweep.total_opt_speedup:.2f} perf, "
               f"x{sweep.total_opt_energy_gain:.2f} energy")
-    return result
+
+
+SPEC = register_scenario(ScenarioSpec(
+    name="fig15",
+    title="k-mer counting optimization ladder",
+    description="cumulative optimization sweeps of both BEACON variants on "
+                "k-mer counting, vs NEST / CPU / idealized twins",
+    build_jobs=build_jobs,
+    collect=collect,
+    present=present,
+    aliases=("fig15_kmer_counting", "fig15-kmer-counting"),
+))
+
+
+def run(scale: ExperimentScale = ExperimentScale.bench(),
+        runner: Optional[ParallelSweepRunner] = None) -> Fig15Result:
+    """Execute the experiment at ``scale``; returns the result object."""
+    return SPEC.run(scale, runner=runner)
+
+
+def main(scale: ExperimentScale = ExperimentScale.bench(),
+         runner: Optional[ParallelSweepRunner] = None) -> Fig15Result:
+    """Run the experiment and print the paper-style rows."""
+    return SPEC.main(scale, runner=runner)
 
 
 if __name__ == "__main__":

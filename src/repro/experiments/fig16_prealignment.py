@@ -10,17 +10,15 @@ figure is CPU-relative only; we additionally verify the filter's quality
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.baselines import CpuModel
 from repro.core.config import Algorithm, OptimizationFlags
 from repro.core.metrics import Report, geometric_mean
-from repro.experiments.parallel import (
-    ParallelSweepRunner,
-    SweepJob,
-    resolve_runner,
-)
-from repro.experiments.runner import ExperimentScale, build_system
+from repro.core.registry import build_system
+from repro.experiments.parallel import ParallelSweepRunner, SweepJob
+from repro.experiments.runner import ExperimentScale
+from repro.experiments.scenarios import ScenarioSpec, register_scenario
 from repro.genomics.workloads import DatasetSpec
 
 
@@ -84,24 +82,24 @@ def _prealign_point(scale: ExperimentScale,
     return outcomes
 
 
-def run(scale: ExperimentScale = ExperimentScale.bench(),
-        runner: Optional[ParallelSweepRunner] = None) -> Fig16Result:
-    """Execute the experiment at ``scale``; returns the result object."""
-    runner = resolve_runner(runner)
-    per_spec = runner.run_values([
+def build_jobs(scale: ExperimentScale) -> List[SweepJob]:
+    """One job per dataset; each runs the CPU baseline + both variants."""
+    return [
         SweepJob(key=spec.name, func=_prealign_point, args=(scale, spec))
         for spec in scale.seeding_datasets()
-    ])
+    ]
+
+
+def collect(scale: ExperimentScale, results: Dict[str, Any]) -> Fig16Result:
+    """Flatten the per-dataset outcome lists, submission order preserved."""
     outcomes: List[PrealignOutcome] = []
-    for spec_outcomes in per_spec:
+    for spec_outcomes in results.values():
         outcomes.extend(spec_outcomes)
     return Fig16Result(outcomes)
 
 
-def main(scale: ExperimentScale = ExperimentScale.bench(),
-         runner: Optional[ParallelSweepRunner] = None) -> Fig16Result:
-    """Run the experiment and print the paper-style rows."""
-    result = run(scale, runner=runner)
+def present(result: Fig16Result) -> None:
+    """Print the paper-style rows for one collected result."""
     print("\nFig. 16 — DNA pre-alignment (vs 48-thread CPU / Shouji)")
     for o in result.outcomes:
         print(f"  {o.system:9s} {o.dataset:4s} x{o.speedup_vs_cpu:8.1f} perf "
@@ -110,7 +108,30 @@ def main(scale: ExperimentScale = ExperimentScale.bench(),
     for system in ("beacon-d", "beacon-s"):
         print(f"  {system} mean: x{result.mean_speedup(system):.1f} perf, "
               f"x{result.mean_energy_gain(system):.1f} energy")
-    return result
+
+
+SPEC = register_scenario(ScenarioSpec(
+    name="fig16",
+    title="pre-alignment filtering",
+    description="both BEACON variants running the Shouji-style pre-alignment "
+                "filter vs the analytic CPU baseline, per dataset",
+    build_jobs=build_jobs,
+    collect=collect,
+    present=present,
+    aliases=("fig16_prealignment", "fig16-prealignment"),
+))
+
+
+def run(scale: ExperimentScale = ExperimentScale.bench(),
+        runner: Optional[ParallelSweepRunner] = None) -> Fig16Result:
+    """Execute the experiment at ``scale``; returns the result object."""
+    return SPEC.run(scale, runner=runner)
+
+
+def main(scale: ExperimentScale = ExperimentScale.bench(),
+         runner: Optional[ParallelSweepRunner] = None) -> Fig16Result:
+    """Run the experiment and print the paper-style rows."""
+    return SPEC.main(scale, runner=runner)
 
 
 if __name__ == "__main__":

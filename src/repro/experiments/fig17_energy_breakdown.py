@@ -10,16 +10,18 @@ communication / DRAM / compute shares per step.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.config import Algorithm
-from repro.core.metrics import geometric_mean
-from repro.experiments.parallel import (
-    ParallelSweepRunner,
-    SweepJob,
-    resolve_runner,
-)
+from repro.experiments.parallel import ParallelSweepRunner, SweepJob
 from repro.experiments.runner import ExperimentScale, run_step_sweep
+from repro.experiments.scenarios import ScenarioSpec, register_scenario
+
+#: The algorithms averaged over, in sweep order (kwargs resolved per scale).
+_ALGORITHMS: Tuple[Algorithm, ...] = (
+    Algorithm.FM_SEEDING,
+    Algorithm.KMER_COUNTING,
+)
 
 
 @dataclass
@@ -49,17 +51,19 @@ class Fig17Result:
         return max(s.compute for s in self.shares[system])
 
 
-def run(scale: ExperimentScale = ExperimentScale.bench(),
-        runner: Optional[ParallelSweepRunner] = None) -> Fig17Result:
-    """Average the per-step breakdown across the three sweep algorithms."""
-    runner = resolve_runner(runner)
-    workloads = [
+def _points(scale: ExperimentScale) -> List[tuple]:
+    """(algorithm, workload, run kwargs) per swept algorithm at ``scale``."""
+    return [
         (Algorithm.FM_SEEDING,
          scale.seeding_workload(scale.seeding_datasets()[0]), {}),
         (Algorithm.KMER_COUNTING, scale.kmer_workload(),
          {"k": scale.kmer_k, "num_counters": scale.num_counters}),
     ]
-    sweeps = runner.run([
+
+
+def build_jobs(scale: ExperimentScale) -> List[SweepJob]:
+    """One cumulative sweep per (variant, algorithm), no idealized twins."""
+    return [
         SweepJob(
             key=f"{system}/{algorithm.value}",
             func=run_step_sweep,
@@ -67,8 +71,12 @@ def run(scale: ExperimentScale = ExperimentScale.bench(),
             kwargs={"with_ideal": False, **kwargs},
         )
         for system in ("beacon-d", "beacon-s")
-        for algorithm, workload, kwargs in workloads
-    ])
+        for algorithm, workload, kwargs in _points(scale)
+    ]
+
+
+def collect(scale: ExperimentScale, results: Dict[str, Any]) -> Fig17Result:
+    """Average each step's comm/DRAM/compute shares over the algorithms."""
     shares: Dict[str, List[EnergyShare]] = {}
     vanilla_comm: Dict[str, float] = {}
     final_comm: Dict[str, float] = {}
@@ -77,8 +85,8 @@ def run(scale: ExperimentScale = ExperimentScale.bench(),
         order: List[str] = []
         first_shares: List[float] = []
         last_shares: List[float] = []
-        for algorithm, _workload, _kwargs in workloads:
-            sweep = sweeps[f"{system}/{algorithm.value}"]
+        for algorithm in _ALGORITHMS:
+            sweep = results[f"{system}/{algorithm.value}"]
             first_shares.append(sweep.vanilla.comm_energy_fraction)
             last_shares.append(sweep.full.comm_energy_fraction)
             for step in sweep.steps:
@@ -107,17 +115,39 @@ def run(scale: ExperimentScale = ExperimentScale.bench(),
     return Fig17Result(shares, vanilla_comm, final_comm)
 
 
-def main(scale: ExperimentScale = ExperimentScale.bench(),
-         runner: Optional[ParallelSweepRunner] = None) -> Fig17Result:
-    """Run the experiment and print the paper-style rows."""
-    result = run(scale, runner=runner)
+def present(result: Fig17Result) -> None:
+    """Print the paper-style rows for one collected result."""
     print("\nFig. 17 — energy breakdown (communication / DRAM / compute)")
     for system, steps in result.shares.items():
         print(f"  == {system} ==")
         for s in steps:
             print(f"    {s.label:26s} comm {s.comm:6.1%}  dram {s.dram:6.1%}  "
                   f"compute {s.compute:6.2%}")
-    return result
+
+
+SPEC = register_scenario(ScenarioSpec(
+    name="fig17",
+    title="energy breakdown per optimization step",
+    description="communication / DRAM / compute energy shares along the "
+                "optimization ladder, averaged over FM seeding and k-mer "
+                "counting",
+    build_jobs=build_jobs,
+    collect=collect,
+    present=present,
+    aliases=("fig17_energy_breakdown", "fig17-energy-breakdown"),
+))
+
+
+def run(scale: ExperimentScale = ExperimentScale.bench(),
+        runner: Optional[ParallelSweepRunner] = None) -> Fig17Result:
+    """Average the per-step breakdown across the swept algorithms."""
+    return SPEC.run(scale, runner=runner)
+
+
+def main(scale: ExperimentScale = ExperimentScale.bench(),
+         runner: Optional[ParallelSweepRunner] = None) -> Fig17Result:
+    """Run the experiment and print the paper-style rows."""
+    return SPEC.main(scale, runner=runner)
 
 
 if __name__ == "__main__":

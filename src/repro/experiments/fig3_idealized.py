@@ -10,17 +10,14 @@ NEST models.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
-from repro.baselines import Medal, Nest
 from repro.core.config import Algorithm
 from repro.core.metrics import Report, geometric_mean
-from repro.experiments.parallel import (
-    ParallelSweepRunner,
-    SweepJob,
-    resolve_runner,
-)
-from repro.experiments.runner import ExperimentScale
+from repro.core.registry import build_system
+from repro.experiments.parallel import ParallelSweepRunner, SweepJob
+from repro.experiments.runner import ExperimentScale, OptimizationFlags
+from repro.experiments.scenarios import ScenarioSpec, register_scenario
 
 
 @dataclass
@@ -58,21 +55,20 @@ class Fig3Result:
 def _real_ideal_pair(baseline: str, method: str, config, workload,
                      run_kwargs: Dict) -> Tuple[Report, Report]:
     """Sweep-point worker: one baseline run plus its idealized twin."""
-    cls = {"medal": Medal, "nest": Nest}[baseline]
-    real = getattr(cls(config=config), method)(workload, **run_kwargs)
-    ideal = getattr(cls(config=config.idealized()), method)(
+    flags = OptimizationFlags.vanilla()
+    real = getattr(build_system(baseline, config, flags), method)(
+        workload, **run_kwargs
+    )
+    ideal = getattr(build_system(baseline, config.idealized(), flags), method)(
         workload, **run_kwargs
     )
     return real, ideal
 
 
-def run(scale: ExperimentScale = ExperimentScale.bench(),
-        runner: Optional[ParallelSweepRunner] = None) -> Fig3Result:
-    """Execute the experiment at ``scale``; returns the result object."""
-    runner = resolve_runner(runner)
+def build_jobs(scale: ExperimentScale) -> List[SweepJob]:
+    """One job per (baseline, algorithm, dataset): real + idealized twin."""
     config = scale.config()
     jobs: List[SweepJob] = []
-    labels: List[Tuple[str, str, str]] = []  # parallel to jobs
     for spec in scale.seeding_datasets():
         workload = scale.seeding_workload(spec)
         for algorithm, method in (
@@ -84,7 +80,6 @@ def run(scale: ExperimentScale = ExperimentScale.bench(),
                 func=_real_ideal_pair,
                 args=("medal", method, config, workload, {}),
             ))
-            labels.append(("medal", algorithm.value, spec.name))
     kmer = scale.kmer_workload()
     kmer_config = scale.config_for(Algorithm.KMER_COUNTING)
     jobs.append(SweepJob(
@@ -93,19 +88,21 @@ def run(scale: ExperimentScale = ExperimentScale.bench(),
         args=("nest", "run_kmer_counting", kmer_config, kmer,
               {"k": scale.kmer_k, "num_counters": scale.num_counters}),
     ))
-    labels.append(("nest", Algorithm.KMER_COUNTING.value, kmer.name))
-    results = runner.run_values(jobs)
-    gains = [
-        IdealizedGain(system, algorithm, dataset, real, ideal)
-        for (system, algorithm, dataset), (real, ideal) in zip(labels, results)
-    ]
+    return jobs
+
+
+def collect(scale: ExperimentScale, results: Dict[str, Any]) -> Fig3Result:
+    """Fold the (real, ideal) pairs back into the figure result; the job
+    key carries the (system, algorithm, dataset) identity."""
+    gains = []
+    for key, (real, ideal) in results.items():
+        system, algorithm, dataset = key.split("/", 2)
+        gains.append(IdealizedGain(system, algorithm, dataset, real, ideal))
     return Fig3Result(gains)
 
 
-def main(scale: ExperimentScale = ExperimentScale.bench(),
-         runner: Optional[ParallelSweepRunner] = None) -> Fig3Result:
-    """Run the experiment and print the paper-style rows."""
-    result = run(scale, runner=runner)
+def present(result: Fig3Result) -> None:
+    """Print the paper-style rows for one collected result."""
     print("\nFig. 3 — prior DDR-DIMM accelerators with idealized communication")
     print(f"{'system':8s} {'algorithm':16s} {'dataset':8s} "
           f"{'perf gain':>10s} {'energy gain':>12s}")
@@ -114,7 +111,30 @@ def main(scale: ExperimentScale = ExperimentScale.bench(),
               f"{g.speedup:9.2f}x {g.energy_gain:11.2f}x")
     print(f"geomean: perf {result.mean_speedup:.2f}x "
           f"(paper: 4.36x), energy {result.mean_energy_gain:.2f}x (paper: 2.32x)")
-    return result
+
+
+SPEC = register_scenario(ScenarioSpec(
+    name="fig3",
+    title="idealized communication for prior DDR-DIMM NDP",
+    description="MEDAL/NEST with infinite-bandwidth zero-latency fabric "
+                "vs their real topology (the paper's motivation study)",
+    build_jobs=build_jobs,
+    collect=collect,
+    present=present,
+    aliases=("fig3_idealized", "fig3-idealized"),
+))
+
+
+def run(scale: ExperimentScale = ExperimentScale.bench(),
+        runner: Optional[ParallelSweepRunner] = None) -> Fig3Result:
+    """Execute the experiment at ``scale``; returns the result object."""
+    return SPEC.run(scale, runner=runner)
+
+
+def main(scale: ExperimentScale = ExperimentScale.bench(),
+         runner: Optional[ParallelSweepRunner] = None) -> Fig3Result:
+    """Run the experiment and print the paper-style rows."""
+    return SPEC.main(scale, runner=runner)
 
 
 if __name__ == "__main__":

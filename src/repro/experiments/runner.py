@@ -1,13 +1,19 @@
-"""Shared experiment machinery: scales, system factory, step sweeps."""
+"""Shared experiment machinery: scales and cumulative step sweeps.
+
+System construction is the backend registry's job
+(:func:`repro.core.registry.build_system`, re-exported here for the
+experiment layer); this module owns the *scale* presets mapping the
+paper's workloads down to simulable sizes and the cumulative
+optimization sweep every step figure replays.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
-from repro.baselines import CpuModel, Medal, Nest
-from repro.core import BeaconD, BeaconS
 from repro.core.config import Algorithm, BeaconConfig, OptimizationFlags
+from repro.core.registry import build_system
 from repro.core.metrics import Report
 from repro.genomics.workloads import (
     KMER_DATASET,
@@ -91,27 +97,6 @@ class ExperimentScale:
             spec, scale=self.prealign_genome_scale,
             read_scale=self.prealign_read_scale,
         )
-
-
-#: System name -> constructor taking (config, flags, label).
-SYSTEMS: Dict[str, Callable] = {
-    "beacon-d": BeaconD,
-    "beacon-s": BeaconS,
-}
-
-
-def build_system(name: str, config: BeaconConfig,
-                 flags: OptimizationFlags, label: str = ""):
-    """Instantiate a (single-shot) system by name."""
-    if name == "medal":
-        return Medal(config=config, label=label or "medal")
-    if name == "nest":
-        return Nest(config=config, label=label or "nest")
-    try:
-        cls = SYSTEMS[name]
-    except KeyError:
-        raise ValueError(f"unknown system {name!r}") from None
-    return cls(config=config, flags=flags, label=label or name)
 
 
 @dataclass
@@ -201,7 +186,8 @@ def run_step_sweep(
         base = build_system(baseline, config, OptimizationFlags.vanilla())
         result.baseline = base.run_algorithm(algorithm, workload, **run_kwargs)
     if with_cpu:
-        result.cpu = CpuModel().run_algorithm(algorithm, workload)
+        cpu = build_system("cpu", config, OptimizationFlags.vanilla())
+        result.cpu = cpu.run_algorithm(algorithm, workload)
     return result
 
 

@@ -14,16 +14,14 @@ Both run the full-optimization BEACON-D and BEACON-S configurations.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.config import Algorithm, BeaconConfig, OptimizationFlags
 from repro.core.metrics import Report
-from repro.experiments.parallel import (
-    ParallelSweepRunner,
-    SweepJob,
-    resolve_runner,
-)
-from repro.experiments.runner import ExperimentScale, build_system
+from repro.core.registry import build_system
+from repro.experiments.parallel import ParallelSweepRunner, SweepJob
+from repro.experiments.runner import ExperimentScale
+from repro.experiments.scenarios import ScenarioSpec, register_scenario
 from repro.genomics.workloads import make_seeding_workload
 
 
@@ -77,10 +75,8 @@ def _run_point(system: str, scale: ExperimentScale, switches: int,
                         reads=len(workload.reads), report=report)
 
 
-def run(scale: ExperimentScale = ExperimentScale.bench(),
-        runner: Optional[ParallelSweepRunner] = None) -> ScalabilityResult:
-    """Execute the experiment at ``scale``; returns the result object."""
-    runner = resolve_runner(runner)
+def build_jobs(scale: ExperimentScale) -> List[SweepJob]:
+    """Strong and weak scaling points for both variants over POOL_SIZES."""
     base_reads = scale.read_scale
     jobs = []
     for system in ("beacon-d", "beacon-s"):
@@ -95,7 +91,12 @@ def run(scale: ExperimentScale = ExperimentScale.bench(),
                 args=(system, scale, sw, d,
                       base_reads * sw / POOL_SIZES[0][0]),
             ))
-    results = runner.run(jobs)
+    return jobs
+
+
+def collect(scale: ExperimentScale,
+            results: Dict[str, Any]) -> ScalabilityResult:
+    """Split the finished points back into strong/weak series per variant."""
     strong: Dict[str, List[ScalingPoint]] = {}
     weak: Dict[str, List[ScalingPoint]] = {}
     for system in ("beacon-d", "beacon-s"):
@@ -108,10 +109,8 @@ def run(scale: ExperimentScale = ExperimentScale.bench(),
     return ScalabilityResult(strong=strong, weak=weak)
 
 
-def main(scale: ExperimentScale = ExperimentScale.bench(),
-         runner: Optional[ParallelSweepRunner] = None) -> ScalabilityResult:
-    """Run the experiment and print the paper-style rows."""
-    result = run(scale, runner=runner)
+def present(result: ScalabilityResult) -> None:
+    """Print the paper-style rows for one collected result."""
     print("\nScalability (extension study): FM seeding, full optimizations")
     for mode, series in (("strong", result.strong), ("weak", result.weak)):
         print(f"  == {mode} scaling ==")
@@ -125,7 +124,30 @@ def main(scale: ExperimentScale = ExperimentScale.bench(),
         print(f"  {system}: strong-scaling speedup (1->4 switches) "
               f"x{result.strong_speedup(system):.2f}; weak-scaling efficiency "
               f"{result.weak_efficiency(system):.2f}")
-    return result
+
+
+SPEC = register_scenario(ScenarioSpec(
+    name="scalability",
+    title="pool scaling (extension)",
+    description="strong and weak scaling of FM seeding as switches and "
+                "DIMMs are added to the CXL pool",
+    build_jobs=build_jobs,
+    collect=collect,
+    present=present,
+    aliases=("scaling",),
+))
+
+
+def run(scale: ExperimentScale = ExperimentScale.bench(),
+        runner: Optional[ParallelSweepRunner] = None) -> ScalabilityResult:
+    """Execute the experiment at ``scale``; returns the result object."""
+    return SPEC.run(scale, runner=runner)
+
+
+def main(scale: ExperimentScale = ExperimentScale.bench(),
+         runner: Optional[ParallelSweepRunner] = None) -> ScalabilityResult:
+    """Run the experiment and print the paper-style rows."""
+    return SPEC.main(scale, runner=runner)
 
 
 if __name__ == "__main__":

@@ -8,16 +8,20 @@ performance and 3.70x energy efficiency (communication energy share
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.config import Algorithm
 from repro.core.metrics import geometric_mean
-from repro.experiments.parallel import (
-    ParallelSweepRunner,
-    SweepJob,
-    resolve_runner,
-)
+from repro.experiments.parallel import ParallelSweepRunner, SweepJob
 from repro.experiments.runner import ExperimentScale, SweepResult, run_step_sweep
+from repro.experiments.scenarios import ScenarioSpec, register_scenario
+
+#: The applications aggregated over, in sweep order.
+_ALGORITHMS: Tuple[Algorithm, ...] = (
+    Algorithm.FM_SEEDING,
+    Algorithm.HASH_SEEDING,
+    Algorithm.KMER_COUNTING,
+)
 
 
 @dataclass
@@ -39,19 +43,20 @@ class SummaryResult:
         return sum(shares) / len(shares)
 
 
-def run(scale: ExperimentScale = ExperimentScale.bench(),
-        runner: Optional[ParallelSweepRunner] = None) -> SummaryResult:
-    """Execute the experiment at ``scale``; returns the result object."""
-    runner = resolve_runner(runner)
+def _points(scale: ExperimentScale) -> List[tuple]:
+    """(algorithm, workload, run kwargs) per aggregated application."""
     seeding = scale.seeding_workload(scale.seeding_datasets()[0])
-    kmer = scale.kmer_workload()
-    points = [
+    return [
         (Algorithm.FM_SEEDING, seeding, {}),
         (Algorithm.HASH_SEEDING, seeding, {}),
-        (Algorithm.KMER_COUNTING, kmer,
+        (Algorithm.KMER_COUNTING, scale.kmer_workload(),
          {"k": scale.kmer_k, "num_counters": scale.num_counters}),
     ]
-    results = runner.run([
+
+
+def build_jobs(scale: ExperimentScale) -> List[SweepJob]:
+    """One cumulative sweep per (variant, application), no idealized twins."""
+    return [
         SweepJob(
             key=f"{system}/{algorithm.value}",
             func=run_step_sweep,
@@ -59,28 +64,52 @@ def run(scale: ExperimentScale = ExperimentScale.bench(),
             kwargs={"with_ideal": False, **kwargs},
         )
         for system in ("beacon-d", "beacon-s")
-        for algorithm, workload, kwargs in points
-    ])
+        for algorithm, workload, kwargs in _points(scale)
+    ]
+
+
+def collect(scale: ExperimentScale, results: Dict[str, Any]) -> SummaryResult:
+    """Group the finished sweeps by variant, application order fixed."""
     sweeps: Dict[str, List[SweepResult]] = {}
     for system in ("beacon-d", "beacon-s"):
         sweeps[system] = [
-            results[f"{system}/{algorithm.value}"]
-            for algorithm, _workload, _kwargs in points
+            results[f"{system}/{algorithm.value}"] for algorithm in _ALGORITHMS
         ]
     return SummaryResult(sweeps)
 
 
-def main(scale: ExperimentScale = ExperimentScale.bench(),
-         runner: Optional[ParallelSweepRunner] = None) -> SummaryResult:
-    """Run the experiment and print the paper-style rows."""
-    result = run(scale, runner=runner)
+def present(result: SummaryResult) -> None:
+    """Print the paper-style rows for one collected result."""
     print("\nSection VI-G — aggregate optimization gains")
     for system in ("beacon-d", "beacon-s"):
         print(f"  {system}: x{result.mean_opt_speedup(system):.2f} perf, "
               f"x{result.mean_opt_energy_gain(system):.2f} energy; comm share "
               f"{result.mean_vanilla_comm_share(system):.1%} -> "
               f"{result.mean_final_comm_share(system):.1%}")
-    return result
+
+
+SPEC = register_scenario(ScenarioSpec(
+    name="sec6g",
+    title="aggregate optimization gains",
+    description="total optimization-stack speedup, energy gain, and "
+                "communication-share reduction over all applications",
+    build_jobs=build_jobs,
+    collect=collect,
+    present=present,
+    aliases=("summary", "sec6g_summary"),
+))
+
+
+def run(scale: ExperimentScale = ExperimentScale.bench(),
+        runner: Optional[ParallelSweepRunner] = None) -> SummaryResult:
+    """Execute the experiment at ``scale``; returns the result object."""
+    return SPEC.run(scale, runner=runner)
+
+
+def main(scale: ExperimentScale = ExperimentScale.bench(),
+         runner: Optional[ParallelSweepRunner] = None) -> SummaryResult:
+    """Run the experiment and print the paper-style rows."""
+    return SPEC.main(scale, runner=runner)
 
 
 if __name__ == "__main__":

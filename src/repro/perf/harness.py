@@ -2,20 +2,22 @@
 
 Each benched figure is executed twice at quick scale:
 
-1. a *timed* run with the configured job count and the controller's timing
-   plan cache enabled (the production path), and
-2. a *reference* run, serial and with ``REPRO_DISABLE_PLAN_CACHE=1``
-   (the always-recompute path),
+1. a *timed* run with the configured job count, the controller's timing
+   plan cache, and the cross-run index cache enabled (the production
+   path), and
+2. a *reference* run, serial and with ``REPRO_DISABLE_PLAN_CACHE=1`` and
+   ``REPRO_DISABLE_INDEX_CACHE=1`` (the always-recompute path),
 
 and the two runs' :class:`~repro.core.metrics.Report` fingerprints —
 cycle counts, energy components, task counts — must match exactly.  The
-optimizations are pure scheduling-work elision; any divergence is a bug,
-so the harness hard-asserts rather than warning.
+optimizations are pure host-side work elision (scheduling plans, index
+construction); any divergence is a bug, so the harness hard-asserts
+rather than warning.
 
-``BENCH_results.json`` schema (``repro-bench/1``)::
+``BENCH_results.json`` schema (``repro-bench/2``)::
 
     {
-      "schema": "repro-bench/1",
+      "schema": "repro-bench/2",
       "created_unix": <float, seconds since epoch>,
       "scale": "quick",
       "jobs": <int>,
@@ -26,6 +28,14 @@ so the harness hard-asserts rather than warning.
           "events_per_sec": <float>,  # events / wall_s (0 when jobs > 1:
                                       # events then execute in workers)
           "verified_identical": <bool or null>,  # null = verify skipped
+          "reference_wall_s": <float or null>,  # serial/uncached run wall
+                                      # clock (null = verify skipped);
+                                      # wall_s vs this shows the cache win
+          "index_cache": <dict or null>,  # in-process index-cache counter
+                                      # deltas over the timed run (hits/
+                                      # misses/build_s/...); undercounts
+                                      # when jobs > 1 (workers keep their
+                                      # own caches)
           "attribution": <dict or null>  # latency attribution from an
                                       # in-stream profiled pass (request/
                                       # task phase totals in cycles plus a
@@ -41,54 +51,43 @@ from __future__ import annotations
 
 import json
 import os
-import re
 import time
 from dataclasses import dataclass, fields, is_dataclass
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.metrics import Report
-from repro.experiments import (
-    ExperimentScale,
-    ParallelSweepRunner,
-    fig3_idealized,
-    fig12_fm_seeding,
-    fig13_coalescing,
-    fig14_hash_seeding,
-    fig15_kmer_counting,
-    fig16_prealignment,
-    fig17_energy_breakdown,
-    scalability,
-    summary,
+from repro.experiments import ExperimentScale, ParallelSweepRunner
+from repro.experiments.scenarios import (
+    SCENARIOS,
+    ensure_registered,
+    resolve_scenario,
 )
+from repro.genomics import index_cache
 from repro.sim.engine import Engine
 
-BENCH_SCHEMA = "repro-bench/1"
+BENCH_SCHEMA = "repro-bench/2"
 
-#: The benched campaigns: name -> ``run(scale, runner)`` callable.
+ensure_registered()
+
+#: The benched campaigns: name -> ``run(scale, runner)`` callable.  Built
+#: from the scenario registry, so registration order *is* bench order and
+#: every scenario registered by ``ensure_registered`` is benched.
 BENCH_FIGURES: Dict[str, Callable[..., Any]] = {
-    "fig3": fig3_idealized.run,
-    "fig12": fig12_fm_seeding.run,
-    "fig13": fig13_coalescing.run,
-    "fig14": fig14_hash_seeding.run,
-    "fig15": fig15_kmer_counting.run,
-    "fig16": fig16_prealignment.run,
-    "fig17": fig17_energy_breakdown.run,
-    "sec6g": summary.run,
-    "scalability": scalability.run,
+    name: spec.run for name, spec in SCENARIOS.items()
 }
 
 
 def resolve_figure(name: str) -> Optional[str]:
     """Resolve a figure name or alias to its :data:`BENCH_FIGURES` key.
 
-    Accepts the bench key itself (``fig16``) and the experiment-module
-    style (``fig16_prealignment``, ``fig16-prealignment``); returns
-    ``None`` when nothing matches.
+    Delegates to the scenario registry's
+    :func:`~repro.experiments.scenarios.resolve_scenario`, so the bench
+    key itself (``fig16``), declared aliases, and the experiment-module
+    style (``fig16_prealignment``, ``fig16-prealignment``) all work;
+    returns ``None`` when nothing matches.
     """
-    if name in BENCH_FIGURES:
-        return name
-    head = re.split(r"[_\-.]", name, maxsplit=1)[0]
-    return head if head in BENCH_FIGURES else None
+    canonical = resolve_scenario(name)
+    return canonical if canonical in BENCH_FIGURES else None
 
 
 # -- result fingerprinting ---------------------------------------------------------
@@ -148,6 +147,14 @@ class FigureBenchResult:
     wall_s: float
     events: int
     verified_identical: Optional[bool] = None
+    #: Wall clock of the serial/uncached reference run (``None`` when the
+    #: verify pass is skipped); ``wall_s`` against this is the combined
+    #: plan-cache + index-cache + parallelism win.
+    reference_wall_s: Optional[float] = None
+    #: In-process index-cache counter deltas over the timed run (see
+    #: :func:`repro.genomics.index_cache.cache_stats`); undercounts when
+    #: jobs > 1 because pool workers keep their own caches.
+    index_cache: Optional[Dict[str, Any]] = None
     #: Compact latency attribution from a profiled pass (see
     #: :func:`bench_figures` ``attribution=``), or ``None``.
     attribution: Optional[Dict[str, Any]] = None
@@ -162,32 +169,52 @@ class FigureBenchResult:
             "events": self.events,
             "events_per_sec": self.events_per_sec,
             "verified_identical": self.verified_identical,
+            "reference_wall_s": self.reference_wall_s,
+            "index_cache": self.index_cache,
             "attribution": self.attribution,
         }
 
 
-def _timed_run(fn: Callable[..., Any], scale: ExperimentScale,
-               runner: ParallelSweepRunner) -> Tuple[Any, float, int]:
+def _timed_run(
+    fn: Callable[..., Any], scale: ExperimentScale,
+    runner: ParallelSweepRunner,
+) -> Tuple[Any, float, int, Dict[str, Any]]:
     events_before = Engine.global_events_executed()
+    cache_before = index_cache.cache_stats()
     started = time.perf_counter()
     result = fn(scale, runner=runner)
     wall = time.perf_counter() - started
     events = Engine.global_events_executed() - events_before
-    return result, wall, events
+    cache_after = index_cache.cache_stats()
+    cache_delta = {
+        key: cache_after[key] - cache_before[key] for key in cache_after
+    }
+    return result, wall, events, cache_delta
 
 
-def _reference_run(fn: Callable[..., Any], scale: ExperimentScale) -> Any:
-    """Serial, plan-cache-disabled run (the pre-optimization semantics)."""
+#: Environment switches flipped for the reference (always-recompute) run.
+_REFERENCE_DISABLES = ("REPRO_DISABLE_PLAN_CACHE", index_cache.DISABLE_ENV)
+
+
+def _reference_run(fn: Callable[..., Any],
+                   scale: ExperimentScale) -> Tuple[Any, float]:
+    """Serial, cache-disabled run (the pre-optimization semantics): the
+    plan cache and the cross-run index cache are both off.  Returns the
+    result and its wall clock (the uncached baseline for the cache win)."""
     serial = ParallelSweepRunner(jobs=1)
-    previous = os.environ.get("REPRO_DISABLE_PLAN_CACHE")
-    os.environ["REPRO_DISABLE_PLAN_CACHE"] = "1"
+    previous = {name: os.environ.get(name) for name in _REFERENCE_DISABLES}
+    for name in _REFERENCE_DISABLES:
+        os.environ[name] = "1"
     try:
-        return fn(scale, runner=serial)
+        started = time.perf_counter()
+        result = fn(scale, runner=serial)
+        return result, time.perf_counter() - started
     finally:
-        if previous is None:
-            del os.environ["REPRO_DISABLE_PLAN_CACHE"]
-        else:
-            os.environ["REPRO_DISABLE_PLAN_CACHE"] = previous
+        for name, value in previous.items():
+            if value is None:
+                del os.environ[name]
+            else:
+                os.environ[name] = value
 
 
 #: Event cap for verification-only traced runs: small on purpose — the
@@ -255,19 +282,21 @@ def bench_figures(
         fn = BENCH_FIGURES[name]
         if progress:
             progress(f"[bench] {name}: timing ...")
-        result, wall, events = _timed_run(fn, scale, runner)
-        entry = FigureBenchResult(name=name, wall_s=wall, events=events)
+        result, wall, events, cache_delta = _timed_run(fn, scale, runner)
+        entry = FigureBenchResult(name=name, wall_s=wall, events=events,
+                                  index_cache=cache_delta)
         if verify:
             if progress:
                 progress(f"[bench] {name}: verifying vs serial/uncached ...")
-            reference = _reference_run(fn, scale)
+            reference, entry.reference_wall_s = _reference_run(fn, scale)
             identical = fingerprint(result) == fingerprint(reference)
             entry.verified_identical = identical
             if not identical:
                 raise BenchMismatchError(
                     f"{name}: cached/parallel results diverge from the "
-                    "serial/uncached reference — scheduler caching or the "
-                    "parallel fan-out changed simulated behaviour"
+                    "serial/uncached reference — scheduler caching, the "
+                    "index cache, or the parallel fan-out changed simulated "
+                    "behaviour"
                 )
         if trace_verify:
             if progress:

@@ -213,9 +213,18 @@ class TestRuleDetails:
         """
         assert active_rules(src) == ["seeded-rng-only", "seeded-rng-only"]
 
-    def test_set_iteration_outside_sim_dirs_is_fine(self):
+    def test_set_iteration_outside_ordered_output_dirs_is_fine(self):
+        # genomics/ and experiments/ joined the scope when index caching
+        # and result collection started feeding deterministic outputs;
+        # obs/ (read-side tooling) stays out.
         bad, _ = RULE_FIXTURES["no-set-iteration-order"]
-        assert active_rules(bad, relpath="repro/genomics/fake.py") == []
+        assert active_rules(bad, relpath="repro/obs/fake.py") == []
+
+    def test_set_iteration_inside_genomics_fires(self):
+        bad, _ = RULE_FIXTURES["no-set-iteration-order"]
+        assert active_rules(bad, relpath="repro/genomics/fake.py") == [
+            "no-set-iteration-order",
+        ]
 
     def test_set_literal_and_union_iteration(self):
         src = """

@@ -1,0 +1,112 @@
+"""Tests for the backend registry (repro.core.registry)."""
+
+import pytest
+
+from repro.core.config import Algorithm, BeaconConfig, OptimizationFlags
+from repro.core.metrics import Report
+from repro.core.registry import (
+    AnalyticSystemFactory,
+    backend_names,
+    build_system,
+    get_backend,
+    register_backend,
+)
+from repro.genomics.workloads import SEEDING_DATASETS, make_seeding_workload
+from repro.sim.engine import SimulationError
+
+
+def _tiny_workload():
+    return make_seeding_workload(SEEDING_DATASETS[0], scale=0.02)
+
+
+class TestRegistry:
+    def test_all_builtins_registered(self):
+        assert set(backend_names()) == {
+            "beacon-d", "beacon-s", "medal", "nest", "ddr-ndp", "cpu",
+        }
+
+    def test_backend_names_round_trip(self):
+        # Every registered name resolves to a factory whose name is the
+        # lookup key, and every factory builds a system exposing the
+        # run_algorithm protocol.
+        config = BeaconConfig().scaled(16)
+        flags = OptimizationFlags.vanilla()
+        for name in backend_names():
+            factory = get_backend(name)
+            assert factory.name == name
+            assert factory.description
+            system = factory.build(config, flags)
+            assert callable(system.run_algorithm)
+
+    def test_aliases_resolve_to_canonical_factory(self):
+        assert get_backend("cpu48") is get_backend("cpu")
+        assert get_backend("ddr") is get_backend("ddr-ndp")
+        # Aliases are surfaced only on request.
+        assert "cpu48" not in backend_names()
+        assert "cpu48" in backend_names(include_aliases=True)
+
+    def test_unknown_backend_lists_known_names(self):
+        with pytest.raises(ValueError, match="beacon-d"):
+            build_system("tpu", BeaconConfig().scaled(16),
+                         OptimizationFlags.vanilla())
+
+    def test_register_collision_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend(AnalyticSystemFactory(
+                name="cpu", description="duplicate", make=object,
+            ))
+
+    def test_label_defaults_to_backend_name(self):
+        config = BeaconConfig().scaled(16)
+        system = build_system("beacon-d", config, OptimizationFlags.vanilla())
+        assert system.label == "beacon-d"
+        labelled = build_system("beacon-d", config,
+                                OptimizationFlags.vanilla(), label="probe")
+        assert labelled.label == "probe"
+
+    def test_built_system_runs_a_workload(self):
+        config = BeaconConfig().scaled(16)
+        system = build_system("beacon-d", config, OptimizationFlags.vanilla())
+        report = system.run_algorithm(Algorithm.FM_SEEDING, _tiny_workload())
+        assert isinstance(report, Report)
+        assert report.tasks_completed > 0
+
+
+class TestSingleShotGuard:
+    def test_second_workload_raises_simulation_error(self):
+        # Regression (satellite S1): simulated systems are single-shot —
+        # re-dispatching onto a drained engine must fail loudly, with a
+        # pointed message naming the fix.
+        config = BeaconConfig().scaled(16)
+        system = build_system("beacon-d", config, OptimizationFlags.vanilla())
+        workload = _tiny_workload()
+        system.run_fm_seeding(workload)
+        with pytest.raises(SimulationError) as excinfo:
+            system.run_hash_seeding(workload)
+        message = str(excinfo.value)
+        assert "single-shot" in message
+        assert "repro.core.registry.build_system" in message
+
+    def test_guard_applies_across_all_driver_entry_points(self):
+        config = BeaconConfig().scaled(16)
+        workload = _tiny_workload()
+        for method, kwargs in (
+            ("run_fm_seeding", {}),
+            ("run_hash_seeding", {}),
+            ("run_kmer_counting", {"num_counters": 1 << 12}),
+            ("run_prealignment", {}),
+        ):
+            system = build_system("beacon-s", config,
+                                  OptimizationFlags.vanilla())
+            getattr(system, method)(workload, **kwargs)
+            with pytest.raises(SimulationError, match="single-shot"):
+                getattr(system, method)(workload, **kwargs)
+
+    def test_cpu_baseline_is_reusable(self):
+        # The analytic model holds no engine state, so it is exempt.
+        cpu = get_backend("cpu").build(BeaconConfig().scaled(16),
+                                       OptimizationFlags.vanilla())
+        workload = _tiny_workload()
+        first = cpu.run_fm_seeding(workload)
+        second = cpu.run_fm_seeding(workload)
+        assert first.runtime_cycles == second.runtime_cycles
