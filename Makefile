@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench-quick bench lint scenarios-smoke trace-smoke profile-smoke
+.PHONY: test bench-quick bench lint scenarios-smoke dsl-smoke trace-smoke profile-smoke
 
 ## Tier-1: the full unit/integration/property suite.
 test:
@@ -42,6 +42,15 @@ scenarios-smoke:
 	           for name, spec in SCENARIOS.items()}; \
 	assert all(r is not None for r in results.values()), results; \
 	print(f'scenarios-smoke ok: {len(results)} scenarios')"
+
+## DSL smoke: both example payloads must validate, then run end-to-end
+## at quick scale through the scenario layer (the same gate CI applies
+## to every YAML block in docs/SCENARIOS.md via tests/test_dsl_docs.py).
+dsl-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro validate examples/multi_tenant.yaml
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro validate examples/custom_scenario.yaml
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro run examples/multi_tenant.yaml --quick --seed 7
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro run examples/custom_scenario.yaml --quick
 
 ## Observability smoke: run the trace example at quick scale and check the
 ## emitted file is valid Perfetto trace_event JSON covering all 4 layers.

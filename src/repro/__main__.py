@@ -3,9 +3,13 @@
 Usage::
 
     python -m repro list                 # what can be regenerated
+    python -m repro list --json          # same catalogue, machine-readable
     python -m repro fig12                # one figure at bench scale
     python -m repro fig15 --quick        # one figure at smoke scale
     python -m repro run fig12-fm-seeding # any registered scenario, by alias
+    python -m repro run my_scenario.yaml --seed 7   # a DSL payload file
+    python -m repro validate my_scenario.yaml       # check a payload only
+    python -m repro catalogue --markdown # scenario table for the docs
     python -m repro all --jobs 4         # the whole evaluation, 4 processes
     python -m repro bench                # perf baseline -> BENCH_results.json
     python -m repro trace fig12 --trace-out run.json   # traced quick run
@@ -63,24 +67,101 @@ EXPERIMENTS["table2"] = ("PE hardware overhead",
                          lambda scale, runner: tables.main())
 
 
+def _is_payload_path(target: str) -> bool:
+    """Does a ``run``/``validate`` target name a payload file (not a
+    registered scenario)?  Payload files are recognized by extension or
+    by containing a path separator."""
+    return target.endswith((".yaml", ".yml", ".json")) or os.sep in target
+
+
 def _run_scenario(args, parser) -> int:
-    """``python -m repro run <scenario>``: execute one registered scenario
-    (canonical name or alias) through the unified scenario layer."""
+    """``python -m repro run <scenario-or-payload>``: execute one
+    registered scenario (canonical name or alias) or a DSL payload file
+    through the unified scenario layer."""
     if args.target is None:
-        parser.error(f"run needs a scenario: one of {scenario_names()}")
+        parser.error(f"run needs a scenario: one of {scenario_names()} "
+                     "(or a payload file, see docs/SCENARIOS.md)")
+    runner = ParallelSweepRunner(jobs=args.jobs, trace_dir=args.trace_dir,
+                                 profile_dir=args.profile_dir)
+    scale = ExperimentScale.quick() if args.quick else ExperimentScale.bench()
+    if _is_payload_path(args.target):
+        from repro.experiments import dsl
+
+        try:
+            spec = dsl.load_scenario_file(args.target, seed=args.seed)
+        except (dsl.PayloadError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        # No wall-clock footer here: payload runs must be bit-identical
+        # across invocations (the DSL's determinism contract).
+        print(f"\n=== {spec.name}: {spec.title} ===")
+        spec.main(scale, runner=runner)
+        return 0
     canonical = resolve_scenario(args.target)
     if canonical is None:
         parser.error(f"unknown scenario {args.target!r}; "
                      f"known: {scenario_names()}")
     spec = get_scenario(canonical)
-    runner = ParallelSweepRunner(jobs=args.jobs, trace_dir=args.trace_dir,
-                                 profile_dir=args.profile_dir)
-    scale = ExperimentScale.quick() if args.quick else ExperimentScale.bench()
     print(f"\n=== {canonical}: {spec.title} ===")
     started = time.time()
     spec.main(scale, runner=runner)
     print(f"[{canonical} took {time.time() - started:.1f}s]")
     return 0
+
+
+def _run_validate(args, parser) -> int:
+    """``python -m repro validate <payload>``: schema-check one payload
+    file without running it."""
+    from repro.experiments import dsl
+
+    if args.target is None:
+        parser.error("validate needs a payload file (YAML or JSON)")
+    try:
+        payload = dsl.validate_payload(dsl.load_payload(args.target))
+    except (dsl.PayloadError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"ok: {args.target} -> scenario {payload.name!r} "
+          f"(kind {payload.kind}; backends {', '.join(payload.backends)})")
+    return 0
+
+
+def _run_catalogue(args, parser) -> int:
+    """``python -m repro catalogue``: the registered-scenario table
+    (``--markdown`` for the docs copy, ``--check`` for the CI sync gate)."""
+    from repro.experiments import catalogue
+
+    if args.check:
+        ok, message = catalogue.check_docs_sync()
+        print(message)
+        return 0 if ok else 1
+    print(catalogue.render_markdown() if args.markdown
+          else catalogue.render_text())
+    return 0
+
+
+def _list_json() -> str:
+    """The ``list --json`` document: experiments + scenario catalogue."""
+    import json
+
+    ensure_registered()
+    scenarios = []
+    for name, spec in SCENARIOS.items():
+        scenarios.append({
+            "name": name,
+            "title": spec.title,
+            "aliases": list(spec.aliases),
+            "backends": list(spec.backends),
+            "drivers": list(spec.drivers),
+            "sweep_axes": list(spec.sweep_axes),
+        })
+    return json.dumps({
+        "experiments": {
+            name: description
+            for name, (description, _run) in sorted(EXPERIMENTS.items())
+        },
+        "scenarios": scenarios,
+    }, indent=2, sort_keys=True)
 
 
 def _run_trace(args, parser) -> int:
@@ -209,18 +290,23 @@ def main(argv=None) -> int:
     parser.add_argument("experiment",
                         choices=sorted(EXPERIMENTS) + ["all", "list", "bench",
                                                        "run", "trace",
-                                                       "profile", "lint"],
+                                                       "profile", "lint",
+                                                       "validate",
+                                                       "catalogue"],
                         help="which table/figure to regenerate ('run' "
                              "executes any registered scenario by name or "
-                             "alias; 'bench' times the quick-scale suite "
-                             "and writes the perf baseline; 'trace' runs "
-                             "one figure at quick scale with tracing on; "
-                             "'profile' runs one figure under the latency "
-                             "profiler; 'lint' runs the simulator-aware "
-                             "static-analysis pass)")
+                             "alias, or a DSL payload file; 'validate' "
+                             "schema-checks a payload file; 'catalogue' "
+                             "prints the scenario table; 'bench' times the "
+                             "quick-scale suite and writes the perf "
+                             "baseline; 'trace' runs one figure at quick "
+                             "scale with tracing on; 'profile' runs one "
+                             "figure under the latency profiler; 'lint' "
+                             "runs the simulator-aware static-analysis "
+                             "pass)")
     parser.add_argument("target", nargs="?", default=None,
-                        help="run/trace/profile only: the scenario or "
-                             "figure to execute")
+                        help="run/trace/profile/validate only: the "
+                             "scenario, figure, or payload file to execute")
     parser.add_argument("--quick", action="store_true",
                         help="smoke scale (seconds instead of minutes)")
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
@@ -270,6 +356,20 @@ def main(argv=None) -> int:
                         metavar=("A.json", "B.json"),
                         help="profile only: compare two saved "
                              "ProfileReports and rank attribution deltas")
+    parser.add_argument("--seed", type=int, default=None, metavar="N",
+                        help="run only, payload files: override the "
+                             "payload's seed")
+    parser.add_argument("--json", action="store_true",
+                        help="list only: emit the catalogue as JSON")
+    parser.add_argument("--dsl", action="store_true",
+                        help="list only: also print the scenario-payload "
+                             "schema reference")
+    parser.add_argument("--markdown", action="store_true",
+                        help="catalogue only: emit a markdown table "
+                             "(the docs/SCENARIOS.md copy)")
+    parser.add_argument("--check", action="store_true",
+                        help="catalogue only: verify the committed copy "
+                             "in docs/SCENARIOS.md matches the registry")
     parser.add_argument("--attribution", action="store_true",
                         help="bench only: run each figure once more under "
                              "the latency profiler and write phase "
@@ -284,22 +384,39 @@ def main(argv=None) -> int:
         return _run_profile(args, parser)
     if args.experiment == "run":
         return _run_scenario(args, parser)
+    if args.experiment == "validate":
+        return _run_validate(args, parser)
+    if args.experiment == "catalogue":
+        return _run_catalogue(args, parser)
     if args.target is not None:
         parser.error("a second positional argument is only valid for "
-                     "'run', 'trace', and 'profile'")
+                     "'run', 'trace', 'profile', and 'validate'")
 
     if args.experiment == "list":
+        if args.json:
+            print(_list_json())
+            return 0
         for name, (description, _run) in sorted(EXPERIMENTS.items()):
             print(f"  {name:8s} {description}")
         print("  bench    perf baseline: time every figure at quick scale")
-        print("  run      any registered scenario by name or alias:")
+        print("  run      any registered scenario by name or alias "
+              "(or a payload file, see docs/SCENARIOS.md):")
         for name in scenario_names():
             spec = SCENARIOS[name]
-            print(f"    {name:12s} {spec.title}")
+            alias_note = (f"  (aliases: {', '.join(spec.aliases)})"
+                          if spec.aliases else "")
+            print(f"    {name:14s} {spec.title}{alias_note}")
+        print("  validate  schema-check a scenario payload file")
+        print("  catalogue scenario table (--markdown / --check)")
         print("  trace    one traced figure run -> Perfetto JSON")
         print("  profile  one profiled figure run -> latency attribution")
         print("  lint     simulator-aware static analysis (determinism, "
               "cycle-safety, trace discipline)")
+        if args.dsl:
+            from repro.experiments.dsl import schema_reference
+
+            print()
+            print(schema_reference())
         return 0
 
     if args.experiment == "bench":

@@ -1,0 +1,118 @@
+"""Scenario catalogue: the registry rendered as a table.
+
+``python -m repro catalogue`` prints every registered scenario — name,
+aliases, backends, workload drivers, sweep axes — as a plain-text or
+(``--markdown``) GitHub-markdown table, generated straight from the
+:mod:`repro.experiments.scenarios` registry so it can never drift from
+the code.  A copy of the markdown table is committed inside
+docs/SCENARIOS.md between ``catalogue:begin``/``catalogue:end`` marker
+comments; :func:`check_docs_sync` (run by ``catalogue --check`` in CI
+and by the docs meta-test) regenerates the table and diffs it against
+the committed copy, failing with a regeneration hint when they diverge.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Tuple
+
+from repro.experiments.scenarios import SCENARIOS, ensure_registered
+
+#: Markers bounding the committed catalogue copy in docs/SCENARIOS.md.
+CATALOGUE_BEGIN = "<!-- catalogue:begin -->"
+CATALOGUE_END = "<!-- catalogue:end -->"
+
+#: The documentation file carrying the committed copy.
+DOCS_PATH = os.path.join("docs", "SCENARIOS.md")
+
+_COLUMNS = ("Scenario", "Aliases", "Backends", "Drivers", "Sweep axes")
+
+
+def catalogue_rows() -> List[Dict[str, str]]:
+    """One mapping per registered scenario, registration (= bench) order.
+
+    Keys match :data:`_COLUMNS` plus ``Title``; multi-valued fields are
+    comma-joined strings (empty string when a scenario declares none).
+    """
+    ensure_registered()
+    rows = []
+    for name, spec in SCENARIOS.items():
+        rows.append({
+            "Scenario": name,
+            "Title": spec.title,
+            "Aliases": ", ".join(spec.aliases),
+            "Backends": ", ".join(spec.backends),
+            "Drivers": ", ".join(spec.drivers),
+            "Sweep axes": ", ".join(spec.sweep_axes),
+        })
+    return rows
+
+
+def render_markdown() -> str:
+    """The catalogue as a GitHub-markdown table (no trailing newline)."""
+    lines = [
+        "| " + " | ".join(_COLUMNS) + " |",
+        "| " + " | ".join("---" for _ in _COLUMNS) + " |",
+    ]
+    for row in catalogue_rows():
+        cells = [f"`{row['Scenario']}`"] + [
+            row[column] or "—" for column in _COLUMNS[1:]
+        ]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def render_text() -> str:
+    """The catalogue as an aligned plain-text table."""
+    rows = catalogue_rows()
+    widths = {
+        column: max([len(column)] + [len(row[column]) for row in rows])
+        for column in _COLUMNS
+    }
+    header = "  ".join(column.ljust(widths[column]) for column in _COLUMNS)
+    lines = [header, "  ".join("-" * widths[column] for column in _COLUMNS)]
+    for row in rows:
+        lines.append("  ".join(
+            row[column].ljust(widths[column]) for column in _COLUMNS
+        ).rstrip())
+    return "\n".join(lines)
+
+
+def embedded_catalogue(text: str) -> str:
+    """The committed catalogue table between the markers of ``text``.
+
+    Raises ``ValueError`` when either marker is missing or out of order.
+    """
+    begin = text.find(CATALOGUE_BEGIN)
+    end = text.find(CATALOGUE_END)
+    if begin < 0 or end < 0 or end < begin:
+        raise ValueError(
+            f"missing {CATALOGUE_BEGIN!r}/{CATALOGUE_END!r} markers"
+        )
+    return text[begin + len(CATALOGUE_BEGIN):end].strip()
+
+
+def check_docs_sync(path: str = DOCS_PATH) -> Tuple[bool, str]:
+    """Does the committed catalogue in ``path`` match the registry?
+
+    Returns ``(ok, message)``; the message explains any mismatch and how
+    to regenerate (``python -m repro catalogue --markdown``).
+    """
+    try:
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        return False, f"catalogue check: cannot read {path}: {exc}"
+    try:
+        committed = embedded_catalogue(text)
+    except ValueError as exc:
+        return False, f"catalogue check: {path}: {exc}"
+    generated = render_markdown()
+    if committed != generated:
+        return False, (
+            f"catalogue check: the table in {path} is out of date with the "
+            "scenario registry; regenerate it with "
+            "`python -m repro catalogue --markdown` and paste it between "
+            "the catalogue markers"
+        )
+    return True, f"catalogue check: {path} matches the registry"

@@ -131,6 +131,9 @@ SPEC = register_scenario(ScenarioSpec(
     collect=collect_seeding,
     present=present,
     aliases=("fig12_fm_seeding", "fig12-fm-seeding"),
+    backends=("beacon-d", "beacon-s", "medal", "cpu"),
+    drivers=("fm-seeding",),
+    sweep_axes=("dataset", "optimization_step"),
 ))
 
 

@@ -98,6 +98,9 @@ SPEC = register_scenario(ScenarioSpec(
     collect=collect,
     present=present,
     aliases=("fig13_coalescing", "fig13-coalescing"),
+    backends=("beacon-d",),
+    drivers=("fm-seeding",),
+    sweep_axes=("coalescing",),
 ))
 
 

@@ -49,6 +49,9 @@ SPEC = register_scenario(ScenarioSpec(
     collect=collect_seeding,
     present=present,
     aliases=("fig14_hash_seeding", "fig14-hash-seeding"),
+    backends=("beacon-d", "beacon-s", "medal", "cpu"),
+    drivers=("hash-seeding",),
+    sweep_axes=("dataset", "optimization_step"),
 ))
 
 

@@ -75,6 +75,9 @@ SPEC = register_scenario(ScenarioSpec(
     collect=collect,
     present=present,
     aliases=("fig15_kmer_counting", "fig15-kmer-counting"),
+    backends=("beacon-d", "beacon-s", "nest", "cpu"),
+    drivers=("kmer-counting",),
+    sweep_axes=("optimization_step",),
 ))
 
 

@@ -119,6 +119,9 @@ SPEC = register_scenario(ScenarioSpec(
     collect=collect,
     present=present,
     aliases=("fig16_prealignment", "fig16-prealignment"),
+    backends=("beacon-d", "beacon-s", "cpu"),
+    drivers=("prealignment",),
+    sweep_axes=("dataset",),
 ))
 
 

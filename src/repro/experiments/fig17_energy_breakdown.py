@@ -135,6 +135,9 @@ SPEC = register_scenario(ScenarioSpec(
     collect=collect,
     present=present,
     aliases=("fig17_energy_breakdown", "fig17-energy-breakdown"),
+    backends=("beacon-d", "beacon-s"),
+    drivers=("fm-seeding", "kmer-counting"),
+    sweep_axes=("optimization_step",),
 ))
 
 

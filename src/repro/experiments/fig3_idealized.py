@@ -122,6 +122,9 @@ SPEC = register_scenario(ScenarioSpec(
     collect=collect,
     present=present,
     aliases=("fig3_idealized", "fig3-idealized"),
+    backends=("medal", "nest"),
+    drivers=("fm-seeding", "kmer-counting"),
+    sweep_axes=("dataset", "idealized"),
 ))
 
 

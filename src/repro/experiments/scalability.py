@@ -135,6 +135,9 @@ SPEC = register_scenario(ScenarioSpec(
     collect=collect,
     present=present,
     aliases=("scaling",),
+    backends=("beacon-d", "beacon-s"),
+    drivers=("fm-seeding",),
+    sweep_axes=("num_switches", "dimms_per_switch"),
 ))
 
 

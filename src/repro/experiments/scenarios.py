@@ -20,8 +20,12 @@ and the CLI's ``python -m repro run <scenario>`` both use.
 
 Scenario modules register themselves at import time
 (:func:`register_scenario` at module scope); :func:`ensure_registered`
-imports the nine built-in campaign modules so every consumer sees the
-full catalogue without importing figure modules by hand.
+imports the built-in campaign modules — the nine paper campaigns plus
+the open-loop multi-tenant serving family (:mod:`repro.experiments.
+tenants`) — so every consumer sees the full catalogue without importing
+figure modules by hand.  Scenarios can also be authored as data files:
+:mod:`repro.experiments.dsl` compiles a validated YAML/dict payload into
+a :class:`ScenarioSpec` (see docs/SCENARIOS.md).
 """
 
 from __future__ import annotations
@@ -56,6 +60,13 @@ class ScenarioSpec:
     collect: Callable[[ExperimentScale, Dict[str, Any]], Any]
     present: Optional[Callable[[Any], None]] = None
     aliases: Tuple[str, ...] = ()
+    #: Catalogue metadata (``python -m repro catalogue``): the backends the
+    #: campaign builds, the workload drivers it exercises, and the axes its
+    #: jobs sweep.  Purely descriptive — execution is entirely defined by
+    #: ``build_jobs``/``collect``/``present``.
+    backends: Tuple[str, ...] = ()
+    drivers: Tuple[str, ...] = ()
+    sweep_axes: Tuple[str, ...] = ()
 
     def run(self, scale: Optional[ExperimentScale] = None,
             runner: Optional[ParallelSweepRunner] = None) -> Any:
@@ -106,6 +117,7 @@ def ensure_registered() -> None:
         fig17_energy_breakdown,
         summary,
         scalability,
+        tenants,
     )
 
 

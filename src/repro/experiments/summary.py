@@ -97,6 +97,9 @@ SPEC = register_scenario(ScenarioSpec(
     collect=collect,
     present=present,
     aliases=("summary", "sec6g_summary"),
+    backends=("beacon-d", "beacon-s"),
+    drivers=("fm-seeding", "hash-seeding", "kmer-counting", "prealignment"),
+    sweep_axes=("algorithm",),
 ))
 
 

@@ -1,0 +1,96 @@
+"""Meta-tests keeping docs/SCENARIOS.md honest.
+
+Every ``yaml`` fence in the authoring guide must hold a payload that
+validates (and runs at quick scale); the committed catalogue table must
+match the registry; and the schema table must mention every field the
+validator knows about.  If any of these fail, the guide has drifted
+from the code.
+"""
+
+import re
+
+import pytest
+
+from repro.experiments import ExperimentScale, ParallelSweepRunner
+from repro.experiments.catalogue import (
+    check_docs_sync,
+    embedded_catalogue,
+    render_markdown,
+    render_text,
+)
+from repro.experiments.dsl import (
+    SCHEMA_FIELDS,
+    compile_payload,
+    parse_payload_text,
+    validate_payload,
+)
+
+DOCS = "docs/SCENARIOS.md"
+
+_YAML_FENCE = re.compile(r"```yaml\n(.*?)```", re.DOTALL)
+
+
+def _docs_text():
+    with open(DOCS, encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _yaml_blocks():
+    return _YAML_FENCE.findall(_docs_text())
+
+
+class TestDocsYamlBlocks:
+    def test_the_guide_has_worked_examples(self):
+        assert len(_yaml_blocks()) >= 3
+
+    @pytest.mark.parametrize("index", range(3))
+    def test_every_yaml_block_parses_and_validates(self, index):
+        blocks = _yaml_blocks()
+        payload = validate_payload(parse_payload_text(blocks[index]))
+        assert payload.name
+        assert payload.backends
+
+    def test_every_yaml_block_runs_at_quick_scale(self):
+        runner = ParallelSweepRunner(jobs=1)
+        scale = ExperimentScale.quick()
+        for block in _yaml_blocks():
+            spec = compile_payload(validate_payload(
+                parse_payload_text(block)
+            ))
+            result = spec.run(scale, runner=runner)
+            assert result is not None, spec.name
+
+
+class TestCatalogueSync:
+    def test_committed_catalogue_matches_registry(self):
+        ok, message = check_docs_sync(DOCS)
+        assert ok, message
+
+    def test_markers_are_required(self):
+        with pytest.raises(ValueError, match="markers"):
+            embedded_catalogue("no markers here")
+
+    def test_renderings_cover_every_scenario(self):
+        from repro.experiments.scenarios import scenario_names
+
+        markdown = render_markdown()
+        text = render_text()
+        for name in scenario_names():
+            assert f"`{name}`" in markdown
+            assert name in text
+
+
+class TestSchemaCoverage:
+    def test_docs_mention_every_schema_field(self):
+        text = _docs_text()
+        for doc in SCHEMA_FIELDS:
+            assert f"`{doc.path}`" in text, (
+                f"docs/SCENARIOS.md is missing schema field {doc.path!r}; "
+                "regenerate the schema table from "
+                "repro.experiments.dsl.schema_reference(markdown=True)"
+            )
+
+    def test_docs_link_the_examples(self):
+        text = _docs_text()
+        assert "examples/multi_tenant.yaml" in text
+        assert "examples/custom_scenario.yaml" in text

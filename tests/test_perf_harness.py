@@ -61,7 +61,7 @@ def test_unknown_figure_rejected():
 def test_bench_catalog_covers_every_figure_module():
     assert set(BENCH_FIGURES) == {
         "fig3", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
-        "sec6g", "scalability",
+        "sec6g", "scalability", "mt-serving", "mt-saturation",
     }
 
 

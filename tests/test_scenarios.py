@@ -23,11 +23,20 @@ REPORTLESS = {"fig13", "fig17"}
 
 
 class TestCatalogue:
-    def test_all_nine_campaigns_registered(self):
+    def test_all_campaigns_registered(self):
         assert scenario_names() == [
             "fig3", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
-            "sec6g", "scalability",
+            "sec6g", "scalability", "mt-serving", "mt-saturation",
         ]
+
+    def test_catalogue_metadata_is_declared_everywhere(self):
+        # ``python -m repro catalogue`` renders these three fields; every
+        # registered spec must declare them (empty tuples would print as
+        # blank catalogue cells).
+        for name, spec in SCENARIOS.items():
+            assert spec.backends, name
+            assert spec.drivers, name
+            assert spec.sweep_axes, name
 
     def test_every_spec_is_fully_described(self):
         for spec in SCENARIOS.values():
