@@ -15,6 +15,8 @@ Usage::
     python -m repro trace fig12 --trace-out run.json   # traced quick run
     python -m repro profile fig16        # latency attribution -> profile.json
     python -m repro profile --diff a.json b.json       # rank attribution deltas
+    python -m repro status runs.jsonl    # summarize a sweep run ledger
+    python -m repro bench --compare BENCH_results.json  # regression gate
     python -m repro lint                 # simulator-aware static analysis
 
 Sweep points within a figure are independent simulations; ``--jobs N`` (or
@@ -25,6 +27,15 @@ attribution report per sweep point; ``trace`` runs one figure in-process
 at quick scale and writes a single combined trace, ``profile`` does the
 same under the in-stream latency profiler and writes a ProfileReport plus
 a collapsed-stack flamegraph (see docs/OBSERVABILITY.md).
+
+Fleet telemetry: ``--ledger FILE`` (or ``REPRO_LEDGER``) appends one JSONL
+lifecycle event per sweep job, ``--progress`` (or ``REPRO_PROGRESS=1``)
+draws a stderr progress line, ``status`` summarizes a ledger
+(completed/running/failed, throughput, ETA, slowest jobs), and ``bench
+--compare OLD.json`` gates per-figure events/sec against a baseline
+(non-zero exit on regression; ``--against NEW.json`` compares two saved
+payloads without re-benching).  See docs/OBSERVABILITY.md, "Fleet
+telemetry".
 """
 
 from __future__ import annotations
@@ -82,7 +93,9 @@ def _run_scenario(args, parser) -> int:
         parser.error(f"run needs a scenario: one of {scenario_names()} "
                      "(or a payload file, see docs/SCENARIOS.md)")
     runner = ParallelSweepRunner(jobs=args.jobs, trace_dir=args.trace_dir,
-                                 profile_dir=args.profile_dir)
+                                 profile_dir=args.profile_dir,
+                                 ledger_path=args.ledger,
+                                 progress=args.progress or None)
     scale = ExperimentScale.quick() if args.quick else ExperimentScale.bench()
     if _is_payload_path(args.target):
         from repro.experiments import dsl
@@ -273,6 +286,79 @@ def _run_profile(args, parser) -> int:
     return 0
 
 
+def _run_status(args, parser) -> int:
+    """``python -m repro status <ledger>``: summarize a sweep run ledger
+    (completed/running/failed, throughput, ETA, slowest jobs;
+    ``--json`` for the machine-readable form)."""
+    import json
+
+    from repro.obs.telemetry import (
+        LedgerError,
+        read_ledger,
+        render_status,
+        summarize_ledger,
+    )
+
+    if args.target is None:
+        parser.error("status needs a ledger file (written via --ledger "
+                     "FILE or $REPRO_LEDGER; see docs/OBSERVABILITY.md)")
+    try:
+        events = read_ledger(args.target)
+    except (LedgerError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    summary = summarize_ledger(events)
+    if args.json:
+        print(json.dumps(summary.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_status(summary), end="")
+    return 0
+
+
+def _run_bench(args, parser) -> int:
+    """``python -m repro bench``: the perf baseline, optionally gated.
+
+    ``--compare OLD.json`` runs the bench and then gates the fresh
+    payload against the baseline (non-zero exit on any figure below
+    ``--threshold`` x baseline events/sec); adding ``--against NEW.json``
+    skips benching entirely and compares two saved payloads — the cheap
+    CI path when a bench artifact already exists.
+    """
+    from repro.obs.telemetry import (
+        DEFAULT_THRESHOLD,
+        CompareError,
+        compare_bench,
+        load_bench_payload,
+        render_compare,
+    )
+    from repro.perf import run_bench
+
+    threshold = (args.threshold if args.threshold is not None
+                 else DEFAULT_THRESHOLD)
+    if args.against is not None and args.compare is None:
+        parser.error("--against needs --compare OLD.json")
+    try:
+        if args.compare is not None and args.against is not None:
+            old = load_bench_payload(args.compare)
+            new = load_bench_payload(args.against)
+        else:
+            old = (load_bench_payload(args.compare)
+                   if args.compare is not None else None)
+            new = run_bench(jobs=args.jobs, verify=not args.no_verify,
+                            output=args.output,
+                            trace_verify=args.verify_tracing,
+                            attribution=args.attribution,
+                            telemetry_verify=args.verify_telemetry)
+        if old is None:
+            return 0
+        report = compare_bench(old, new, threshold=threshold)
+    except CompareError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_compare(report), end="")
+    return 0 if report["ok"] else 1
+
+
 def main(argv=None) -> int:
     """Run the experiment and print the paper-style rows."""
     if argv is None:
@@ -292,7 +378,8 @@ def main(argv=None) -> int:
                                                        "run", "trace",
                                                        "profile", "lint",
                                                        "validate",
-                                                       "catalogue"],
+                                                       "catalogue",
+                                                       "status"],
                         help="which table/figure to regenerate ('run' "
                              "executes any registered scenario by name or "
                              "alias, or a DSL payload file; 'validate' "
@@ -301,12 +388,14 @@ def main(argv=None) -> int:
                              "quick-scale suite and writes the perf "
                              "baseline; 'trace' runs one figure at quick "
                              "scale with tracing on; 'profile' runs one "
-                             "figure under the latency profiler; 'lint' "
+                             "figure under the latency profiler; 'status' "
+                             "summarizes a sweep run ledger; 'lint' "
                              "runs the simulator-aware static-analysis "
                              "pass)")
     parser.add_argument("target", nargs="?", default=None,
-                        help="run/trace/profile/validate only: the "
-                             "scenario, figure, or payload file to execute")
+                        help="run/trace/profile/validate/status only: the "
+                             "scenario, figure, payload file, or ledger "
+                             "file to act on")
     parser.add_argument("--quick", action="store_true",
                         help="smoke scale (seconds instead of minutes)")
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
@@ -360,7 +449,8 @@ def main(argv=None) -> int:
                         help="run only, payload files: override the "
                              "payload's seed")
     parser.add_argument("--json", action="store_true",
-                        help="list only: emit the catalogue as JSON")
+                        help="list/status: emit the catalogue or ledger "
+                             "summary as JSON")
     parser.add_argument("--dsl", action="store_true",
                         help="list only: also print the scenario-payload "
                              "schema reference")
@@ -374,6 +464,29 @@ def main(argv=None) -> int:
                         help="bench only: run each figure once more under "
                              "the latency profiler and write phase "
                              "attribution into BENCH_results.json")
+    parser.add_argument("--ledger", default=None, metavar="FILE",
+                        help="figure runs: append one JSONL lifecycle "
+                             "event per sweep job to FILE (also "
+                             "$REPRO_LEDGER; summarize with 'status')")
+    parser.add_argument("--progress", action="store_true",
+                        help="figure runs: draw an in-terminal progress "
+                             "line on stderr as sweep jobs complete "
+                             "(also $REPRO_PROGRESS=1)")
+    parser.add_argument("--verify-telemetry", action="store_true",
+                        help="bench only: also verify results are "
+                             "bit-identical with the run ledger and "
+                             "progress line enabled")
+    parser.add_argument("--compare", default=None, metavar="OLD.json",
+                        help="bench only: regression-gate the fresh bench "
+                             "against a baseline payload (non-zero exit "
+                             "when any figure drops below the threshold)")
+    parser.add_argument("--against", default=None, metavar="NEW.json",
+                        help="bench only, with --compare: skip benching "
+                             "and compare two saved payloads instead")
+    parser.add_argument("--threshold", type=float, default=None, metavar="R",
+                        help="bench --compare: regression threshold as a "
+                             "fraction of baseline events/sec "
+                             "(default: 0.75)")
     args = parser.parse_args(argv)
     if args.jobs is not None and args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
@@ -388,9 +501,11 @@ def main(argv=None) -> int:
         return _run_validate(args, parser)
     if args.experiment == "catalogue":
         return _run_catalogue(args, parser)
+    if args.experiment == "status":
+        return _run_status(args, parser)
     if args.target is not None:
         parser.error("a second positional argument is only valid for "
-                     "'run', 'trace', 'profile', and 'validate'")
+                     "'run', 'trace', 'profile', 'validate', and 'status'")
 
     if args.experiment == "list":
         if args.json:
@@ -410,6 +525,8 @@ def main(argv=None) -> int:
         print("  catalogue scenario table (--markdown / --check)")
         print("  trace    one traced figure run -> Perfetto JSON")
         print("  profile  one profiled figure run -> latency attribution")
+        print("  status   summarize a sweep run ledger "
+              "(--ledger FILE / $REPRO_LEDGER)")
         print("  lint     simulator-aware static analysis (determinism, "
               "cycle-safety, trace discipline)")
         if args.dsl:
@@ -420,15 +537,12 @@ def main(argv=None) -> int:
         return 0
 
     if args.experiment == "bench":
-        from repro.perf import run_bench
-
-        run_bench(jobs=args.jobs, verify=not args.no_verify,
-                  output=args.output, trace_verify=args.verify_tracing,
-                  attribution=args.attribution)
-        return 0
+        return _run_bench(args, parser)
 
     runner = ParallelSweepRunner(jobs=args.jobs, trace_dir=args.trace_dir,
-                                 profile_dir=args.profile_dir)
+                                 profile_dir=args.profile_dir,
+                                 ledger_path=args.ledger,
+                                 progress=args.progress or None)
     scale = ExperimentScale.quick() if args.quick else ExperimentScale.bench()
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

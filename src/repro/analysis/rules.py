@@ -12,6 +12,8 @@ examples per rule):
 ``nonneg-schedule-delay``  negative or un-guarded delays to ``Engine.schedule``
 ``trace-category-registry``non-literal / unknown trace categories at
                            instrument sites
+``telemetry-event-registry`` non-literal / unknown ledger event names at
+                           emit sites
 ``no-dict-mutation-in-iteration`` resizing a mapping while iterating it
 ``no-mutable-default-arg`` shared mutable default arguments
 ``no-id-order``            ``id()`` (address-dependent) in ordering-sensitive
@@ -36,6 +38,7 @@ from repro.analysis.framework import (
     register,
 )
 from repro.obs.recorder import TRACE_CATEGORIES
+from repro.obs.telemetry.ledger import LEDGER_EVENTS
 
 #: The event-ordering-sensitive simulator layers: everything that runs
 #: inside (or schedules onto) the discrete-event engine.
@@ -132,9 +135,12 @@ _WALL_CLOCK_CALLS = frozenset({
     "no-wall-clock",
     "simulation code must not read the wall clock; results depend only on "
     "simulated time (Engine.now)",
-    scope=excluding("perf/", "repro/__main__.py", "repro/obs/export.py"),
+    scope=excluding("perf/", "repro/__main__.py", "repro/obs/export.py",
+                    "repro/obs/telemetry/"),
     scope_note="src/repro except repro/perf, repro/__main__.py, "
-               "repro/obs/export.py",
+               "repro/obs/export.py, repro/obs/telemetry/ (fleet "
+               "telemetry measures host wall time by design and never "
+               "touches simulated state)",
 )
 def check_wall_clock(module: Module) -> Iterator[RawFinding]:
     """Flag wall-clock reads (time.*, datetime.now) in simulation code."""
@@ -506,6 +512,52 @@ def check_trace_categories(module: Module) -> Iterator[RawFinding]:
                 f"unknown trace category {cat.value!r}; known categories: "
                 f"{', '.join(TRACE_CATEGORIES)} (extend "
                 "repro.obs.recorder.TRACE_CATEGORIES first)",
+            )
+
+
+# -- telemetry-event-registry --------------------------------------------------
+
+def _looks_like_ledger(node: ast.AST) -> bool:
+    name = _terminal_name(node)
+    return name is not None and ("ledger" in name or "writer" in name)
+
+
+@register(
+    "telemetry-event-registry",
+    "ledger event names at emit sites must be string literals from "
+    "repro.obs.telemetry.LEDGER_EVENTS",
+)
+def check_ledger_events(module: Module) -> Iterator[RawFinding]:
+    """Require literal, registry-known event names at ledger emit sites.
+
+    The run ledger's value is that any campaign is reconstructable after
+    the fact, which only holds if the event vocabulary is closed: a
+    computed or unregistered name at an ``emit()`` site would produce
+    lines ``read_ledger``/``status`` cannot classify.  Same discipline as
+    ``trace-category-registry``, applied to the fleet-telemetry layer.
+    """
+    for node in ast.walk(module.tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "emit"
+                and _looks_like_ledger(node.func.value)
+                and node.args):
+            continue
+        event = node.args[0]
+        if not (isinstance(event, ast.Constant)
+                and isinstance(event.value, str)):
+            yield (
+                node.lineno, node.col_offset,
+                "ledger event passed to emit() must be a string literal so "
+                "the ledger's event vocabulary stays closed and "
+                "machine-checkable",
+            )
+        elif event.value not in LEDGER_EVENTS:
+            yield (
+                node.lineno, node.col_offset,
+                f"unknown ledger event {event.value!r}; registered events: "
+                f"{', '.join(LEDGER_EVENTS)} (extend "
+                "repro.obs.telemetry.ledger.LEDGER_EVENTS first)",
             )
 
 

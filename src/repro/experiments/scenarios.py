@@ -73,7 +73,7 @@ class ScenarioSpec:
         """Execute the campaign at ``scale``; returns the result object."""
         scale = scale if scale is not None else ExperimentScale.bench()
         runner = resolve_runner(runner)
-        results = runner.run(list(self.build_jobs(scale)))
+        results = runner.run(list(self.build_jobs(scale)), label=self.name)
         return self.collect(scale, results)
 
     def main(self, scale: Optional[ExperimentScale] = None,

@@ -8,7 +8,9 @@ memory-management operations — with timestamps in simulated time, and a
 :class:`MetricsSampler` snapshots :class:`~repro.sim.stats.StatScope`
 counters at a configurable simulated-time interval.  Exporters write
 Chrome/Perfetto ``trace_event`` JSON (open in https://ui.perfetto.dev or
-``chrome://tracing``) and a flat CSV of metric samples.
+``chrome://tracing``) and metric samples as CSV or JSON (identical rows
+either way).  The fleet-level counterpart — cross-run job ledger, metrics
+registry, bench regression gate — lives in :mod:`repro.obs.telemetry`.
 
 Tracing is purely observational: instrument sites only *read* simulator
 state and never schedule events, so simulated cycle counts and energy
@@ -36,7 +38,13 @@ from repro.obs.export import (
     trace_layers,
     write_chrome_trace,
 )
-from repro.obs.metrics import MetricsSample, MetricsSampler, write_metrics_csv
+from repro.obs.metrics import (
+    METRICS_COLUMNS,
+    MetricsSample,
+    MetricsSampler,
+    write_metrics_csv,
+    write_metrics_json,
+)
 from repro.obs.profile import (
     PROFILE_SCHEMA,
     AttributionDelta,
@@ -63,6 +71,7 @@ __all__ = [
     "AttributionDelta",
     "DEFAULT_EVENT_LIMIT",
     "LatencyProfiler",
+    "METRICS_COLUMNS",
     "MetricsSample",
     "MetricsSampler",
     "NullRecorder",
@@ -92,4 +101,5 @@ __all__ = [
     "write_chrome_trace",
     "write_flamegraph",
     "write_metrics_csv",
+    "write_metrics_json",
 ]

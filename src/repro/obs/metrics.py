@@ -88,6 +88,40 @@ class MetricsSampler:
         """Number of individual (path, key) samples taken."""
         return len(self.samples)
 
+    def rows(self) -> List[List[Union[int, str, float]]]:
+        """Every sample as a flat ``[cycle, pid, path, key, value]`` row.
+
+        This is the **single source of row order** for every export:
+        samples appear exactly as taken (snapshot order along the
+        timeline), so the CSV and JSON forms of one sampler are
+        row-for-row identical.
+        """
+        return [[s.cycle, s.pid, s.path, s.key, s.value]
+                for s in self.samples]
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The samples as a JSON document (``repro-metrics-samples/1``).
+
+        Shares :meth:`rows` with :func:`write_metrics_csv`, so the JSON
+        ``rows`` array carries the same values in the same order as the
+        CSV body; ``columns`` names them.
+        """
+        import json
+
+        return json.dumps(
+            {
+                "schema": "repro-metrics-samples/1",
+                "columns": list(METRICS_COLUMNS),
+                "interval_cycles": self.interval_cycles,
+                "rows": self.rows(),
+            },
+            indent=indent, sort_keys=True,
+        )
+
+
+#: Export column order, shared by the CSV header and the JSON ``columns``.
+METRICS_COLUMNS = ("cycle", "pid", "path", "key", "value")
+
 
 def write_metrics_csv(
     sampler: MetricsSampler, destination: Union[str, IO[str]]
@@ -96,16 +130,31 @@ def write_metrics_csv(
 
     Columns: ``cycle, pid, path, key, value`` — one row per sampled
     counter per snapshot, trivially loadable with pandas or a
-    spreadsheet.
+    spreadsheet.  Rows come from :meth:`MetricsSampler.rows`, the same
+    source :meth:`MetricsSampler.to_json` exports, so the two formats
+    always agree.
     """
     def _write(handle: IO[str]) -> int:
         writer = csv.writer(handle)
-        writer.writerow(["cycle", "pid", "path", "key", "value"])
-        for s in sampler.samples:
-            writer.writerow([s.cycle, s.pid, s.path, s.key, s.value])
-        return len(sampler.samples)
+        writer.writerow(list(METRICS_COLUMNS))
+        rows = sampler.rows()
+        writer.writerows(rows)
+        return len(rows)
 
     if isinstance(destination, str):
         with open(destination, "w", encoding="utf-8", newline="") as handle:
             return _write(handle)
     return _write(destination)
+
+
+def write_metrics_json(
+    sampler: MetricsSampler, destination: Union[str, IO[str]]
+) -> int:
+    """Write :meth:`MetricsSampler.to_json` to a file; returns row count."""
+    text = sampler.to_json()
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    else:
+        destination.write(text + "\n")
+    return sampler.sample_count

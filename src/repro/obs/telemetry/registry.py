@@ -1,0 +1,492 @@
+"""Process-safe metrics registry: Counter / Gauge / Histogram with labels.
+
+A deliberately small, stdlib-only subset of the Prometheus client model,
+tuned for this repository's constraints:
+
+* **Deterministic snapshots.**  ``snapshot()`` orders series by
+  ``(metric name, sorted label items)`` — never by dict identity or
+  insertion accident — so the JSON export of two identical runs is
+  byte-identical and the Prometheus text export diffs cleanly.
+* **Process-safe aggregation.**  A :class:`ParallelSweepRunner
+  <repro.experiments.parallel.ParallelSweepRunner>` worker cannot share
+  the parent's registry, so workers ship snapshot *deltas* back with
+  their job results and the parent folds them in via
+  :meth:`MetricsRegistry.merge_snapshot` (counters and histograms sum;
+  gauges take the incoming value, last-writer-wins).  Within one process
+  a single :class:`threading.Lock` serializes mutation.
+* **No wall clock, no RNG.**  Instruments only store what callers hand
+  them; exporters never stamp timestamps, so the artifacts stay
+  deterministic for identical inputs.
+
+Usage::
+
+    from repro.obs.telemetry import get_registry
+
+    jobs = get_registry().counter(
+        "repro_sweep_jobs_total", "sweep jobs by terminal status",
+        labels=("status",))
+    jobs.labels(status="finished").inc()
+    print(get_registry().render_prometheus())
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+#: Default histogram bucket upper bounds (seconds-flavoured, matching the
+#: sweep-job wall times this registry mostly observes).  ``+Inf`` is
+#: implicit and always present.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 300.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(names: Tuple[str, ...], values: Mapping[str, Any]) -> LabelKey:
+    """Canonical ``((name, value), ...)`` key for one labelled series."""
+    missing = set(names) - set(values)
+    extra = set(values) - set(names)
+    if missing or extra:
+        raise ValueError(
+            f"label mismatch: declared {sorted(names)}, "
+            f"got {sorted(values)}"
+        )
+    return tuple((name, str(values[name])) for name in sorted(names))
+
+
+def _escape_label_value(value: str) -> str:
+    """Prometheus text-format escaping for a label value."""
+    return value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+
+
+class _Instrument:
+    """Shared mechanics of one named metric family (all label children)."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str,
+                 labels: Tuple[str, ...], lock: threading.Lock) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in labels:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        self.name = name
+        self.help_text = help_text
+        self.label_names = tuple(labels)
+        self._lock = lock
+        self._children: Dict[LabelKey, Any] = {}
+
+    def labels(self, **values: Any) -> "_Instrument":
+        """The child series for one label-value combination.
+
+        Unlabelled instruments are their own single series; calling
+        ``labels()`` with no declared labels returns ``self``.
+        """
+        key = _label_key(self.label_names, values)
+        with self._lock:
+            if key not in self._children:
+                self._children[key] = self._new_child()
+        return _BoundChild(self, key)
+
+    def _new_child(self) -> Any:
+        raise NotImplementedError
+
+    def _series(self) -> List[Tuple[LabelKey, Any]]:
+        """Deterministically ordered ``(label key, state)`` pairs."""
+        with self._lock:
+            return sorted(self._children.items())
+
+    # -- single-series conveniences (no labels declared) -------------------
+
+    def _default_key(self) -> LabelKey:
+        if self.label_names:
+            raise ValueError(
+                f"{self.name} declares labels {self.label_names}; "
+                "use .labels(...)"
+            )
+        key: LabelKey = ()
+        with self._lock:
+            if key not in self._children:
+                self._children[key] = self._new_child()
+        return key
+
+
+class _BoundChild:
+    """One labelled series of an instrument, bound for mutation."""
+
+    def __init__(self, parent: _Instrument, key: LabelKey) -> None:
+        self._parent = parent
+        self._key = key
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increment (counters and gauges)."""
+        self._parent._inc(self._key, amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Decrement (gauges only)."""
+        self._parent._inc(self._key, -amount)
+
+    def set(self, value: float) -> None:
+        """Set the current value (gauges only)."""
+        self._parent._set(self._key, value)
+
+    def observe(self, value: float) -> None:
+        """Record one observation (histograms only)."""
+        self._parent._observe(self._key, value)
+
+    @property
+    def value(self) -> float:
+        """The series' current scalar value (counter/gauge)."""
+        return self._parent._value(self._key)
+
+
+class Counter(_Instrument):
+    """Monotonically increasing count (per label set)."""
+
+    kind = "counter"
+
+    def _new_child(self) -> float:
+        return 0.0
+
+    def _inc(self, key: LabelKey, amount: float) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        with self._lock:
+            self._children[key] = self._children.get(key, 0.0) + amount
+
+    def _set(self, key: LabelKey, value: float) -> None:
+        raise TypeError("counters cannot be set; use inc()")
+
+    def _observe(self, key: LabelKey, value: float) -> None:
+        raise TypeError("counters do not observe; use a Histogram")
+
+    def _value(self, key: LabelKey) -> float:
+        with self._lock:
+            return self._children.get(key, 0.0)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increment the unlabelled series."""
+        self._inc(self._default_key(), amount)
+
+    @property
+    def value(self) -> float:
+        """Current value of the unlabelled series."""
+        return self._value(self._default_key())
+
+
+class Gauge(Counter):
+    """A value that can go up and down (per label set)."""
+
+    kind = "gauge"
+
+    def _inc(self, key: LabelKey, amount: float) -> None:
+        with self._lock:
+            self._children[key] = self._children.get(key, 0.0) + amount
+
+    def _set(self, key: LabelKey, value: float) -> None:
+        with self._lock:
+            self._children[key] = float(value)
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Decrement the unlabelled series."""
+        self._inc(self._default_key(), -amount)
+
+    def set(self, value: float) -> None:
+        """Set the unlabelled series."""
+        self._set(self._default_key(), value)
+
+
+class Histogram(_Instrument):
+    """Cumulative-bucket distribution (per label set).
+
+    State per series: one cumulative count per bucket upper bound (plus
+    the implicit ``+Inf``), the observation count, and the value sum —
+    exactly the Prometheus histogram triple, so the text export is a
+    valid scrape target.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help_text: str, labels: Tuple[str, ...],
+                 lock: threading.Lock,
+                 buckets: Tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        super().__init__(name, help_text, labels, lock)
+        cleaned = tuple(sorted(float(b) for b in buckets))
+        if not cleaned:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.buckets = cleaned
+
+    def _new_child(self) -> Dict[str, Any]:
+        return {
+            "bucket_counts": [0] * (len(self.buckets) + 1),
+            "count": 0,
+            "sum": 0.0,
+        }
+
+    def _inc(self, key: LabelKey, amount: float) -> None:
+        raise TypeError("histograms do not inc; use observe()")
+
+    def _set(self, key: LabelKey, value: float) -> None:
+        raise TypeError("histograms cannot be set; use observe()")
+
+    def _value(self, key: LabelKey) -> float:
+        with self._lock:
+            return self._children[key]["sum"]
+
+    def _observe(self, key: LabelKey, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            state = self._children.setdefault(key, self._new_child())
+            state["count"] += 1
+            state["sum"] += value
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    state["bucket_counts"][i] += 1
+                    break
+            else:
+                state["bucket_counts"][-1] += 1
+
+    def observe(self, value: float) -> None:
+        """Record one observation on the unlabelled series."""
+        self._observe(self._default_key(), value)
+
+
+class MetricsRegistry:
+    """A named collection of instruments with deterministic export order.
+
+    ``counter`` / ``gauge`` / ``histogram`` are *get-or-create*: calling
+    them twice with the same name returns the same instrument (a kind or
+    label-set mismatch raises, so two call sites cannot silently fork a
+    metric).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, _Instrument] = {}
+
+    def _register(self, cls, name: str, help_text: str,
+                  labels: Iterable[str], **kwargs: Any) -> _Instrument:
+        # Label order is semantically meaningless (series keys sort label
+        # names), so normalize the declaration: two call sites declaring
+        # the same label *set* in different orders — or a worker delta,
+        # which always arrives sorted — must resolve to one instrument.
+        labels = tuple(sorted(labels))
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls) or type(existing) is not cls:
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}"
+                    )
+                if existing.label_names != labels:
+                    raise ValueError(
+                        f"metric {name!r} already registered with labels "
+                        f"{existing.label_names}, got {labels}"
+                    )
+                return existing
+            metric = cls(name, help_text, labels, threading.Lock(), **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help_text: str,
+                labels: Iterable[str] = ()) -> Counter:
+        """Get or create a :class:`Counter`."""
+        return self._register(Counter, name, help_text, labels)
+
+    def gauge(self, name: str, help_text: str,
+              labels: Iterable[str] = ()) -> Gauge:
+        """Get or create a :class:`Gauge`."""
+        return self._register(Gauge, name, help_text, labels)
+
+    def histogram(self, name: str, help_text: str,
+                  labels: Iterable[str] = (),
+                  buckets: Tuple[float, ...] = DEFAULT_BUCKETS) -> Histogram:
+        """Get or create a :class:`Histogram` with ``buckets`` bounds."""
+        return self._register(Histogram, name, help_text, labels,
+                              buckets=buckets)
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """Every series as a flat, deterministically ordered row list.
+
+        Rows are sorted by ``(name, labels)`` and each carries ``name``,
+        ``kind``, ``help``, ``labels`` (sorted ``[name, value]`` pairs),
+        and either ``value`` (counter/gauge) or the histogram triple
+        (``buckets``/``bucket_counts``/``count``/``sum``).
+        """
+        rows: List[Dict[str, Any]] = []
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        for name, metric in metrics:
+            for key, state in metric._series():
+                row: Dict[str, Any] = {
+                    "name": name,
+                    "kind": metric.kind,
+                    "help": metric.help_text,
+                    "labels": [list(pair) for pair in key],
+                }
+                if metric.kind == "histogram":
+                    row["buckets"] = list(metric.buckets)
+                    row["bucket_counts"] = list(state["bucket_counts"])
+                    row["count"] = state["count"]
+                    row["sum"] = state["sum"]
+                else:
+                    row["value"] = state
+                rows.append(row)
+        return rows
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The snapshot as a JSON document (sorted keys, stable order)."""
+        return json.dumps({"schema": "repro-metrics/1",
+                           "series": self.snapshot()},
+                          indent=indent, sort_keys=True)
+
+    def render_prometheus(self) -> str:
+        """The snapshot in Prometheus text exposition format."""
+        lines: List[str] = []
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        for name, metric in metrics:
+            series = metric._series()
+            if not series:
+                continue
+            lines.append(f"# HELP {name} {metric.help_text}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            for key, state in series:
+                label_str = ",".join(
+                    f'{k}="{_escape_label_value(v)}"' for k, v in key
+                )
+                if metric.kind == "histogram":
+                    cumulative = 0
+                    for bound, count in zip(
+                        list(metric.buckets) + [float("inf")],
+                        state["bucket_counts"],
+                    ):
+                        cumulative += count
+                        le = "+Inf" if bound == float("inf") else f"{bound:g}"
+                        bucket_labels = (
+                            f'{label_str},le="{le}"' if label_str
+                            else f'le="{le}"'
+                        )
+                        lines.append(
+                            f"{name}_bucket{{{bucket_labels}}} {cumulative}"
+                        )
+                    suffix = f"{{{label_str}}}" if label_str else ""
+                    lines.append(f"{name}_sum{suffix} {state['sum']:g}")
+                    lines.append(f"{name}_count{suffix} {state['count']}")
+                else:
+                    suffix = f"{{{label_str}}}" if label_str else ""
+                    lines.append(f"{name}{suffix} {state:g}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    # -- cross-process merge ----------------------------------------------
+
+    def merge_snapshot(self, rows: Iterable[Mapping[str, Any]]) -> None:
+        """Fold a snapshot (typically a worker's *delta*) into this registry.
+
+        Counters and histograms add; gauges take the incoming value.
+        Unknown metrics are created with the snapshot's declared kind and
+        labels, so the parent does not need to pre-register everything a
+        worker might emit.
+        """
+        for row in rows:
+            name = row["name"]
+            kind = row["kind"]
+            label_names = tuple(sorted(k for k, _v in row["labels"]))
+            values = {k: v for k, v in row["labels"]}
+            if kind == "counter":
+                metric = self.counter(name, row.get("help", ""), label_names)
+                target = metric.labels(**values) if label_names else metric
+                if row["value"]:
+                    target.inc(row["value"])
+            elif kind == "gauge":
+                metric = self.gauge(name, row.get("help", ""), label_names)
+                target = metric.labels(**values) if label_names else metric
+                target.set(row["value"])
+            elif kind == "histogram":
+                metric = self.histogram(
+                    name, row.get("help", ""), label_names,
+                    buckets=tuple(row["buckets"]),
+                )
+                if tuple(float(b) for b in row["buckets"]) != metric.buckets:
+                    raise ValueError(
+                        f"histogram {name!r} bucket mismatch on merge"
+                    )
+                key = _label_key(metric.label_names, values)
+                with metric._lock:
+                    state = metric._children.setdefault(
+                        key, metric._new_child()
+                    )
+                    for i, count in enumerate(row["bucket_counts"]):
+                        state["bucket_counts"][i] += count
+                    state["count"] += row["count"]
+                    state["sum"] += row["sum"]
+            else:
+                raise ValueError(f"unknown metric kind {kind!r} for {name!r}")
+
+
+def diff_snapshots(
+    before: Iterable[Mapping[str, Any]],
+    after: Iterable[Mapping[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Per-series delta ``after - before`` (for shipping worker activity).
+
+    Counter and histogram rows subtract; gauge rows pass through with
+    their ``after`` value (a gauge is a level, not a flow).  Rows whose
+    delta is entirely zero are dropped, so an idle worker ships nothing.
+    """
+    def key_of(row: Mapping[str, Any]) -> Tuple[str, Tuple]:
+        return (row["name"], tuple(tuple(p) for p in row["labels"]))
+
+    base = {key_of(row): row for row in before}
+    out: List[Dict[str, Any]] = []
+    for row in after:
+        prior = base.get(key_of(row))
+        delta = dict(row)
+        if row["kind"] == "gauge":
+            out.append(delta)
+            continue
+        if row["kind"] == "histogram":
+            if prior is not None:
+                delta["bucket_counts"] = [
+                    a - b for a, b in zip(row["bucket_counts"],
+                                          prior["bucket_counts"])
+                ]
+                delta["count"] = row["count"] - prior["count"]
+                delta["sum"] = row["sum"] - prior["sum"]
+            if delta["count"] == 0:
+                continue
+        else:
+            if prior is not None:
+                delta["value"] = row["value"] - prior["value"]
+            if delta["value"] == 0:
+                continue
+        out.append(delta)
+    return out
+
+
+#: The process-wide registry the sweep runner, caches, and serving layer
+#: share.  Workers get their own copy (fresh per process) and ship deltas.
+_GLOBAL_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The shared per-process :class:`MetricsRegistry`."""
+    return _GLOBAL_REGISTRY
+
+
+def reset_registry() -> MetricsRegistry:
+    """Replace the global registry with a fresh one (tests, new campaigns)."""
+    global _GLOBAL_REGISTRY
+    _GLOBAL_REGISTRY = MetricsRegistry()
+    return _GLOBAL_REGISTRY

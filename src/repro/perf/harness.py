@@ -231,6 +231,27 @@ def _traced_run(fn: Callable[..., Any], scale: ExperimentScale) -> Any:
         return fn(scale, runner=serial)
 
 
+def _telemetry_run(fn: Callable[..., Any], scale: ExperimentScale) -> Any:
+    """Serial run with the run ledger and progress line enabled, for
+    telemetry-is-observational checks (``bench --verify-telemetry``).
+
+    The ledger goes to a throwaway temp file and the progress line to an
+    in-memory stream, so the check leaves no artifacts; only the
+    fingerprint comparison against the plain run matters.
+    """
+    import io
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        serial = ParallelSweepRunner(
+            jobs=1,
+            ledger_path=os.path.join(tmp, "verify-ledger.jsonl"),
+            progress=True,
+            progress_stream=io.StringIO(),
+        )
+        return fn(scale, runner=serial)
+
+
 def _profiled_run(
     fn: Callable[..., Any], scale: ExperimentScale, figure: str
 ) -> Tuple[Any, Dict[str, Any]]:
@@ -259,6 +280,7 @@ def bench_figures(
     progress: Optional[Callable[[str], None]] = None,
     trace_verify: bool = False,
     attribution: bool = False,
+    telemetry_verify: bool = False,
 ) -> List[FigureBenchResult]:
     """Time each figure campaign; optionally verify against the reference.
 
@@ -269,7 +291,10 @@ def bench_figures(
     observational and must never perturb simulated behaviour.  With
     ``attribution``, each figure runs once more under the in-stream
     latency profiler (which must also leave the fingerprint untouched)
-    and its result row carries the phase-decomposition totals.
+    and its result row carries the phase-decomposition totals.  With
+    ``telemetry_verify``, each figure runs once more with the fleet
+    run-ledger and progress line enabled and its fingerprint must match —
+    the same discipline, applied to the telemetry layer.
     """
     names = list(figures) if figures is not None else list(BENCH_FIGURES)
     unknown = sorted(set(names) - set(BENCH_FIGURES))
@@ -308,6 +333,16 @@ def bench_figures(
                     "untraced run — an instrumentation site is perturbing "
                     "simulated behaviour"
                 )
+        if telemetry_verify:
+            if progress:
+                progress(f"[bench] {name}: verifying telemetry on == off ...")
+            observed = _telemetry_run(fn, scale)
+            if fingerprint(result) != fingerprint(observed):
+                raise BenchMismatchError(
+                    f"{name}: results with the run ledger and progress line "
+                    "enabled diverge from the plain run — fleet telemetry "
+                    "must be purely observational"
+                )
         if attribution:
             if progress:
                 progress(f"[bench] {name}: profiling latency attribution ...")
@@ -330,12 +365,14 @@ def run_bench(
     progress: Optional[Callable[[str], None]] = print,
     trace_verify: bool = False,
     attribution: bool = False,
+    telemetry_verify: bool = False,
 ) -> Dict[str, Any]:
     """The ``python -m repro bench`` entry point: bench, verify, persist."""
     runner = ParallelSweepRunner(jobs=jobs)
     results = bench_figures(figures=figures, jobs=runner.jobs, verify=verify,
                             progress=progress, trace_verify=trace_verify,
-                            attribution=attribution)
+                            attribution=attribution,
+                            telemetry_verify=telemetry_verify)
     payload: Dict[str, Any] = {
         "schema": BENCH_SCHEMA,
         "created_unix": time.time(),

@@ -109,6 +109,16 @@ RULE_FIXTURES = {
             tracer.instant("dram", "ok", path, now)
         """,
     ),
+    "telemetry-event-registry": (
+        """
+        def record(writer, job):
+            writer.emit("job-exploded", job=job)
+        """,
+        """
+        def record(writer, job):
+            writer.emit("failed", job=job)
+        """,
+    ),
     "no-dict-mutation-in-iteration": (
         """
         def prune(table):

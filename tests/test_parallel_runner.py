@@ -19,13 +19,27 @@ from repro.experiments import (
     SweepJob,
     resolve_runner,
 )
-from repro.experiments.parallel import _execute_job
+from repro.experiments.parallel import SweepJobError, _execute_job
 from repro.experiments.runner import run_step_sweep
+from repro.obs.telemetry import read_ledger, summarize_ledger
 from repro.perf import fingerprint
 
 
 def _square(x):
     return x * x
+
+
+def _fail_on_two(x):
+    if x == 2:
+        raise ValueError(f"boom on {x}")
+    return x * 10
+
+
+def _raise_local_exception(x):
+    class LocalError(RuntimeError):
+        """Defined inside the function, so it cannot pickle by reference."""
+
+    raise LocalError(f"unshippable failure on {x}")
 
 
 def _tiny_scale() -> ExperimentScale:
@@ -143,6 +157,122 @@ def test_parallel_simple_results_match_serial():
     parallel = parallel_runner.run(jobs)
     assert parallel == serial
     assert list(parallel) == list(serial)
+
+
+# -- failure paths -----------------------------------------------------------------
+
+
+def _mixed_jobs():
+    return [SweepJob(key=str(i), func=_fail_on_two, args=(i,))
+            for i in range(5)]
+
+
+def test_failed_job_does_not_abort_batch():
+    """One raising job must not silence the rest: run_with_outcomes
+    returns every outcome, failed one included, in submission order."""
+    runner = ParallelSweepRunner(jobs=1)
+    outcomes = runner.run_with_outcomes(_mixed_jobs())
+    assert list(outcomes) == ["0", "1", "2", "3", "4"]
+    failed = outcomes["2"]
+    assert failed.failed
+    assert failed.error_type == "ValueError"
+    assert "boom on 2" in failed.error
+    assert failed.traceback_sha256 and len(failed.traceback_sha256) == 64
+    assert failed.result is None
+    for key in ("0", "1", "3", "4"):
+        assert not outcomes[key].failed
+        assert outcomes[key].result == int(key) * 10
+    assert runner.last_failures.keys() == {"2"}
+
+
+def test_run_reraises_first_failure_after_drain():
+    """run() still raises — but only after every job has executed."""
+    runner = ParallelSweepRunner(jobs=1)
+    with pytest.raises(ValueError, match="boom on 2"):
+        runner.run(_mixed_jobs())
+    # The jobs *after* the failure still ran (their failures dict is
+    # complete and the successes were recorded before the re-raise).
+    assert runner.last_failures.keys() == {"2"}
+
+
+def test_unpicklable_exception_raises_sweep_job_error():
+    """A failure whose exception cannot ship back re-raises as
+    SweepJobError carrying the key and the worker-formatted traceback."""
+    runner = ParallelSweepRunner(jobs=1)
+    jobs = [SweepJob(key="local", func=_raise_local_exception, args=(1,))]
+    with pytest.raises(SweepJobError, match="local") as excinfo:
+        runner.run(jobs)
+    assert excinfo.value.key == "local"
+    assert "unshippable failure on 1" in excinfo.value.formatted_traceback
+
+
+def test_failed_event_lands_in_ledger(tmp_path):
+    """A mid-sweep failure is a ledger event with a traceback digest, and
+    the remaining jobs' finished events are still recorded."""
+    ledger = str(tmp_path / "runs.jsonl")
+    runner = ParallelSweepRunner(jobs=1, ledger_path=ledger)
+    outcomes = runner.run_with_outcomes(_mixed_jobs(), label="failure-test")
+    events = read_ledger(ledger)
+    by_name = {}
+    for event in events:
+        by_name.setdefault(event["event"], []).append(event)
+    assert len(by_name["queued"]) == 5
+    assert len(by_name["started"]) == 5
+    assert len(by_name["finished"]) == 4
+    (failed_event,) = by_name["failed"]
+    assert failed_event["job"] == "2"
+    assert failed_event["error"].startswith("ValueError: boom on 2")
+    assert failed_event["traceback_sha256"] == \
+        outcomes["2"].traceback_sha256
+    (end,) = by_name["campaign-end"]
+    assert end["finished"] == 4 and end["failed"] == 1
+    summary = summarize_ledger(events)
+    assert summary.total_jobs == 5
+    assert summary.finished == 4
+    assert summary.failed == 1
+    assert summary.failures[0][0] == "2"
+
+
+def test_outcomes_carry_wall_time_and_worker_on_both_paths():
+    """S2: per-job wall time + worker id, schema-identical serial vs pool."""
+    jobs = [SweepJob(key=str(i), func=_square, args=(i,)) for i in range(4)]
+    serial = ParallelSweepRunner(jobs=1).run_with_outcomes(jobs)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        pooled = ParallelSweepRunner(jobs=2).run_with_outcomes(jobs)
+    for outcomes in (serial, pooled):
+        assert list(outcomes) == ["0", "1", "2", "3"]
+        for outcome in outcomes.values():
+            assert outcome.wall_s >= 0.0
+            assert outcome.worker and "-pid" in outcome.worker
+            assert not outcome.failed
+
+
+def test_ledger_schema_identical_serial_and_pooled(tmp_path):
+    """The per-job event sequences and field sets must not depend on
+    whether the batch ran serially or through the pool."""
+    jobs = [SweepJob(key=str(i), func=_square, args=(i,)) for i in range(3)]
+
+    def lifecycle(path, runner_jobs):
+        runner = ParallelSweepRunner(jobs=runner_jobs, ledger_path=path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            runner.run(jobs)
+        shapes = {}
+        for event in read_ledger(path):
+            if event.get("job") is None:
+                continue
+            shapes.setdefault(event["job"], []).append(
+                (event["event"], tuple(sorted(event)))
+            )
+        return shapes
+
+    serial = lifecycle(str(tmp_path / "serial.jsonl"), 1)
+    pooled = lifecycle(str(tmp_path / "pooled.jsonl"), 2)
+    assert serial == pooled
+    for per_job in serial.values():
+        assert [name for name, _fields in per_job] == \
+            ["queued", "started", "finished"]
 
 
 # -- determinism of real sweeps ----------------------------------------------------
