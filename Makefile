@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench-quick bench lint scenarios-smoke dsl-smoke trace-smoke profile-smoke telemetry-smoke
+.PHONY: test bench-quick bench lint lint-cache-parity scenarios-smoke dsl-smoke trace-smoke profile-smoke telemetry-smoke
 
 ## Tier-1: the full unit/integration/property suite.
 test:
@@ -27,6 +27,21 @@ bench:
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples
 	PYTHONHASHSEED=random PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro lint
+
+## Warm-lint cache parity: a cold run and a warm (fully cached) run must
+## emit byte-identical repro-lint/2 reports.  Uses a throwaway cache file
+## so the developer's own warm cache is untouched.
+lint-cache-parity:
+	rm -f /tmp/repro-lint-parity-cache.json
+	PYTHONHASHSEED=random PYTHONPATH=$(PYTHONPATH) \
+		REPRO_LINT_CACHE=/tmp/repro-lint-parity-cache.json \
+		$(PYTHON) -m repro lint --json /tmp/repro-lint-cold.json
+	PYTHONHASHSEED=random PYTHONPATH=$(PYTHONPATH) \
+		REPRO_LINT_CACHE=/tmp/repro-lint-parity-cache.json \
+		$(PYTHON) -m repro lint --json /tmp/repro-lint-warm.json
+	cmp /tmp/repro-lint-cold.json /tmp/repro-lint-warm.json
+	@echo "lint-cache-parity ok: cold and warm reports byte-identical"
+	rm -f /tmp/repro-lint-parity-cache.json /tmp/repro-lint-cold.json /tmp/repro-lint-warm.json
 
 ## Scenario smoke: every registered scenario runs end-to-end at quick
 ## scale through the scenario layer and must yield a result object

@@ -528,7 +528,8 @@ def main(argv=None) -> int:
         print("  status   summarize a sweep run ledger "
               "(--ledger FILE / $REPRO_LEDGER)")
         print("  lint     simulator-aware static analysis (determinism, "
-              "cycle-safety, trace discipline)")
+              "cycle-safety, trace discipline, whole-program call-graph "
+              "rules)")
         if args.dsl:
             from repro.experiments.dsl import schema_reference
 

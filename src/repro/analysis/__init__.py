@@ -8,12 +8,24 @@ non-negative schedule delays, trace categories drawn from the known
 registry, and the classic Python footguns (dict mutation during
 iteration, mutable default arguments, ``id()``-derived ordering).
 
+On top of the per-file rules sits a whole-program layer
+(:mod:`repro.analysis.program`): every file is reduced to a module
+summary, the summaries are assembled into a project-wide symbol table
+and approximate call graph, and interprocedural rules — transitive
+wall-clock/RNG taint, sweep-job picklability, schema-id registry
+discipline, export/doc sync — run over the graph.  Their findings carry
+cross-file witness chains (report schema ``repro-lint/2``) and honour
+the same suppression comments.
+
 Entry points:
 
 * ``python -m repro lint`` (see :mod:`repro.analysis.cli`) — the CLI,
-  wired into ``make lint`` and CI.
+  wired into ``make lint`` and CI; ``--no-program`` skips the
+  whole-program layer, ``--changed`` scopes per-file rules to
+  git-touched files, ``--sarif`` exports SARIF 2.1.0.
 * :func:`lint_paths` / :func:`lint_file` / :func:`lint_source` — the
-  programmatic API; :data:`RULES` is the registry.
+  programmatic API; :data:`RULES` and :data:`PROGRAM_RULES` are the
+  registries.
 
 docs/ANALYSIS.md documents every rule with rationale and examples.
 """
@@ -22,33 +34,48 @@ from repro.analysis.framework import (
     BARE_SUPPRESSION,
     LINT_SCHEMA,
     PARSE_ERROR,
+    PROGRAM_RULES,
     RULES,
     Finding,
     LintReport,
     Module,
+    ProgramRule,
     Rule,
     default_root,
     lint_file,
     lint_paths,
     lint_source,
     register,
+    register_program,
 )
 from repro.analysis import rules as _rules  # noqa: F401  (registers the rule set)
-from repro.analysis.rules import SIM_DIRS
+from repro.analysis.rules import ORDERED_OUTPUT_DIRS, SIM_DIRS
+from repro.analysis import program as _program  # noqa: F401  (registers program rules)
+from repro.analysis.cache import LintCache
+from repro.analysis.program import Project, summarize_source
+from repro.analysis.sarif import to_sarif
 
 __all__ = [
     "BARE_SUPPRESSION",
     "LINT_SCHEMA",
+    "ORDERED_OUTPUT_DIRS",
     "PARSE_ERROR",
+    "PROGRAM_RULES",
     "RULES",
     "SIM_DIRS",
     "Finding",
+    "LintCache",
     "LintReport",
     "Module",
+    "ProgramRule",
+    "Project",
     "Rule",
     "default_root",
     "lint_file",
     "lint_paths",
     "lint_source",
     "register",
+    "register_program",
+    "summarize_source",
+    "to_sarif",
 ]

@@ -1,0 +1,164 @@
+"""Per-module lint cache keyed by file content digest.
+
+A full lint of the tree parses every file twice (once for the per-file
+rules, once into the whole-program summary).  That cost is fine for CI
+but too slow for a pre-commit hook, so :class:`LintCache` memoizes the
+expensive per-file work — the resolved findings and the program-analysis
+module summary — keyed by the SHA-256 of the file's source.  A warm
+re-lint of an unchanged tree therefore skips ``ast.parse`` entirely and
+only re-runs the (cheap, graph-level) whole-program rules, producing a
+byte-identical report; CI asserts that parity.
+
+The cache is invalidated wholesale when the analysis configuration
+changes: the config digest folds in the registered rule ids, the report
+schema, and the source of the analysis package itself, so editing a rule
+never serves stale findings.  The file lives at the repo root as
+``.repro-lint-cache.json`` (override with ``REPRO_LINT_CACHE``) and is
+gitignored.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.framework import (
+    PROGRAM_RULES,
+    RULES,
+    Finding,
+    LINT_SCHEMA,
+)
+
+#: Environment variable overriding the cache file location.
+CACHE_ENV = "REPRO_LINT_CACHE"
+
+#: Default cache filename, created next to the repo's ``src`` directory.
+CACHE_BASENAME = ".repro-lint-cache.json"
+
+
+def default_cache_path() -> Path:
+    """Resolve the cache path: ``$REPRO_LINT_CACHE`` or the repo root."""
+    override = os.environ.get(CACHE_ENV)
+    if override:
+        return Path(override)
+    from repro.analysis.framework import default_root
+
+    # default_root() is <repo>/src/repro — the repo root is two up.
+    return default_root().parent.parent / CACHE_BASENAME
+
+
+def _config_digest() -> str:
+    """Digest of everything that can change findings besides file content."""
+    hasher = hashlib.sha256()
+    hasher.update(LINT_SCHEMA.encode())
+    for rule_id in sorted(RULES):
+        hasher.update(f"|{rule_id}|{RULES[rule_id].summary}".encode())
+    for rule_id in sorted(PROGRAM_RULES):
+        hasher.update(
+            f"|{rule_id}|{PROGRAM_RULES[rule_id].summary}".encode()
+        )
+    package_dir = Path(__file__).resolve().parent
+    for source in sorted(package_dir.glob("*.py")):
+        hasher.update(source.read_bytes())
+    return hasher.hexdigest()
+
+
+def _finding_to_json(finding: Finding) -> Dict[str, object]:
+    return {
+        "rule": finding.rule, "path": finding.path,
+        "line": finding.line, "col": finding.col,
+        "message": finding.message, "suppressed": finding.suppressed,
+        "reason": finding.reason,
+        "paths": [list(hop) for hop in finding.paths],
+    }
+
+
+def _finding_from_json(payload: Dict[str, object]) -> Finding:
+    return Finding(
+        rule=str(payload["rule"]), path=str(payload["path"]),
+        line=int(payload["line"]), col=int(payload["col"]),
+        message=str(payload["message"]),
+        suppressed=bool(payload["suppressed"]),
+        reason=str(payload["reason"]),
+        paths=tuple(
+            (str(hop[0]), int(hop[1]), str(hop[2]))
+            for hop in payload.get("paths", [])
+        ),
+    )
+
+
+class LintCache:
+    """Content-addressed store of per-file lint results and summaries."""
+
+    def __init__(self, path: Optional[Path] = None) -> None:
+        self.path = Path(path) if path is not None else default_cache_path()
+        self.config = _config_digest()
+        self._entries: Dict[str, Dict[str, object]] = {}
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(payload, dict):
+            return
+        if payload.get("config") != self.config:
+            return  # rules or schema changed: start cold
+        entries = payload.get("entries")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    @staticmethod
+    def _digest(source: str) -> str:
+        return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+    def lookup(
+        self, relpath: str, source: str
+    ) -> Optional[Tuple[List[Finding], Optional[Dict[str, object]]]]:
+        """Cached ``(findings, summary)`` for this exact file content."""
+        entry = self._entries.get(relpath)
+        if entry is None or entry.get("digest") != self._digest(source):
+            return None
+        try:
+            findings = [
+                _finding_from_json(item) for item in entry["findings"]
+            ]
+        except (KeyError, TypeError, ValueError, IndexError):
+            return None
+        return findings, entry.get("summary")
+
+    def store(
+        self,
+        relpath: str,
+        source: str,
+        findings: List[Finding],
+        summary: Optional[Dict[str, object]],
+    ) -> None:
+        self._entries[relpath] = {
+            "digest": self._digest(source),
+            "findings": [_finding_to_json(f) for f in findings],
+            "summary": summary,
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        """Atomically persist the cache (no-op when nothing changed)."""
+        if not self._dirty:
+            return
+        payload = {
+            "config": self.config,
+            "entries": {k: self._entries[k] for k in sorted(self._entries)},
+        }
+        text = json.dumps(payload, sort_keys=True)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        try:
+            tmp.write_text(text + "\n", encoding="utf-8")
+            tmp.replace(self.path)
+        except OSError:
+            pass  # a read-only checkout degrades to always-cold, not a crash
+        self._dirty = False

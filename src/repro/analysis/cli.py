@@ -2,34 +2,76 @@
 
 Usage::
 
-    python -m repro lint                      # lint src/repro, exit 1 on findings
+    python -m repro lint                      # per-file + whole-program rules
     python -m repro lint --json lint.json     # also write the machine report
+    python -m repro lint --sarif lint.sarif   # SARIF 2.1.0 for CI annotations
     python -m repro lint --rule no-wall-clock # run a subset of rules
+    python -m repro lint --changed            # per-file rules on touched files
+    python -m repro lint --no-program         # per-file rules only
+    python -m repro lint --no-cache           # ignore the warm-lint cache
     python -m repro lint --list-rules         # what exists, with scopes
     python -m repro lint path/to/file.py dir/ # explicit targets
 
 Exit status: 0 when no unsuppressed findings remain, 1 otherwise, 2 on
-usage errors.  See docs/ANALYSIS.md for the rule catalogue and the
-suppression syntax (``# repro: allow[rule-id] -- why``).
+usage errors.  See docs/ANALYSIS.md for the rule catalogue (per-file and
+whole-program), the suppression syntax
+(``# repro: allow[rule-id] -- why``), and the ``repro-lint/2`` report
+schema with its cross-file witness chains.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
-from repro.analysis.framework import RULES, lint_paths
+from repro.analysis.framework import (
+    PROGRAM_RULES,
+    RULES,
+    default_root,
+    lint_paths,
+)
 
 
 def _print_rules() -> None:
-    width = max(len(rule_id) for rule_id in RULES)
-    for rule_id in sorted(RULES):
-        rule = RULES[rule_id]
-        print(f"  {rule_id:<{width}}  {rule.summary}")
-        print(f"  {'':<{width}}  scope: {rule.scope_note}")
+    catalogue = [(rule_id, RULES[rule_id].summary, RULES[rule_id].scope_note)
+                 for rule_id in sorted(RULES)]
+    catalogue += [
+        (rule_id, PROGRAM_RULES[rule_id].summary,
+         PROGRAM_RULES[rule_id].scope_note)
+        for rule_id in sorted(PROGRAM_RULES)
+    ]
+    width = max(len(rule_id) for rule_id, _, _ in catalogue)
+    for rule_id, summary, scope_note in catalogue:
+        print(f"  {rule_id:<{width}}  {summary}")
+        print(f"  {'':<{width}}  scope: {scope_note}")
+
+
+def _changed_relpaths() -> Optional[List[str]]:
+    """Repo relpaths (relative to src/) of git-modified python files."""
+    src_dir = default_root().parent
+    repo_root = src_dir.parent
+    try:
+        proc = subprocess.run(
+            ["git", "-C", str(repo_root), "diff", "--name-only", "HEAD"],
+            capture_output=True, text=True, check=True, timeout=30,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    changed: List[str] = []
+    for name in proc.stdout.splitlines():
+        name = name.strip()
+        if not name.endswith(".py"):
+            continue
+        absolute = (repo_root / name).resolve()
+        try:
+            changed.append(absolute.relative_to(src_dir.resolve()).as_posix())
+        except ValueError:
+            continue  # outside src/ — not lintable by the default target
+    return sorted(set(changed))
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -37,7 +79,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro lint",
         description="Simulator-aware static analysis: determinism, "
-                    "cycle-safety, and trace-discipline lints.",
+                    "cycle-safety, trace-discipline, and whole-program "
+                    "(call-graph) lints.",
     )
     parser.add_argument("paths", nargs="*", metavar="PATH",
                         help="files or directories to lint "
@@ -45,11 +88,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--json", dest="json_out", metavar="FILE",
                         default=None,
                         help="write the machine-readable report "
-                             "(schema repro-lint/1) to FILE")
+                             "(schema repro-lint/2) to FILE")
+    parser.add_argument("--sarif", dest="sarif_out", metavar="FILE",
+                        default=None,
+                        help="write a SARIF 2.1.0 log to FILE "
+                             "(for CI inline annotations)")
     parser.add_argument("--rule", dest="rules", action="append",
                         metavar="ID", default=None,
                         help="run only this rule (repeatable); "
                              "default: all rules")
+    parser.add_argument("--no-program", action="store_true",
+                        help="skip the whole-program (call-graph) rules")
+    parser.add_argument("--changed", action="store_true",
+                        help="report per-file findings only for files "
+                             "touched per 'git diff --name-only HEAD' "
+                             "(whole-program rules still see everything)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not read or write the warm-lint cache")
+    parser.add_argument("--cache-file", metavar="FILE", default=None,
+                        help="cache location (default: "
+                             ".repro-lint-cache.json at the repo root, "
+                             "or $REPRO_LINT_CACHE)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
     parser.add_argument("--show-suppressed", action="store_true",
@@ -61,10 +120,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     if args.rules:
-        unknown = sorted(set(args.rules) - set(RULES))
+        known = set(RULES) | set(PROGRAM_RULES)
+        unknown = sorted(set(args.rules) - known)
         if unknown:
             parser.error(
-                f"unknown rule ids {unknown}; known: {sorted(RULES)}"
+                f"unknown rule ids {unknown}; known: {sorted(known)}"
             )
 
     targets = [Path(p) for p in args.paths] if args.paths else None
@@ -73,7 +133,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if missing:
             parser.error(f"no such file or directory: {missing}")
 
-    report = lint_paths(targets, rules=args.rules)
+    changed_only = None
+    if args.changed:
+        changed_only = _changed_relpaths()
+        if changed_only is None:
+            print("[lint] --changed: git unavailable, linting everything",
+                  file=sys.stderr)
+
+    cache = None
+    if not args.no_cache and args.rules is None:
+        from repro.analysis.cache import LintCache
+
+        cache_path = Path(args.cache_file) if args.cache_file else None
+        cache = LintCache(cache_path)
+
+    report = lint_paths(
+        targets, rules=args.rules,
+        program=not args.no_program,
+        cache=cache,
+        changed_only=changed_only,
+    )
+    if cache is not None:
+        cache.save()
+
     for finding in report.findings:
         if finding.suppressed:
             if args.show_suppressed:
@@ -81,10 +163,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                       f"{finding.reason}")
             continue
         print(f"{finding.location}: {finding.rule}: {finding.message}")
+        for path, line, symbol in finding.paths[1:]:
+            print(f"    via {path}:{line}: {symbol}")
 
     if args.json_out:
         payload = json.dumps(report.to_dict(), indent=2, sort_keys=True)
         Path(args.json_out).write_text(payload + "\n", encoding="utf-8")
+    if args.sarif_out:
+        from repro.analysis.sarif import to_sarif
+
+        payload = json.dumps(to_sarif(report), indent=2, sort_keys=True)
+        Path(args.sarif_out).write_text(payload + "\n", encoding="utf-8")
 
     active = report.active
     print(f"[lint] {report.files_scanned} files, "

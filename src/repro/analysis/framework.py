@@ -45,8 +45,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.schemas import SCHEMAS
+
 #: Version tag of the JSON report layout (``LintReport.to_dict()``).
-LINT_SCHEMA = "repro-lint/1"
+#: v2 adds the optional per-finding ``paths`` witness chain emitted by
+#: the whole-program rules (:mod:`repro.analysis.program`).
+LINT_SCHEMA = SCHEMAS["lint"]
 
 #: Suppressions shorter than this (after the bracket) count as unexplained.
 MIN_REASON_CHARS = 8
@@ -56,9 +60,19 @@ BARE_SUPPRESSION = "bare-suppression"
 PARSE_ERROR = "parse-error"
 
 
+#: One hop of a cross-file witness chain: (path, line, symbol).
+WitnessHop = Tuple[str, int, str]
+
+
 @dataclass(frozen=True)
 class Finding:
-    """One lint hit, suppressed or not, at a source location."""
+    """One lint hit, suppressed or not, at a source location.
+
+    ``paths`` is the cross-file witness chain attached by whole-program
+    rules: each hop is ``(path, line, symbol)`` leading from the flagged
+    site to the root cause (e.g. the function that actually reads the
+    wall clock).  Per-file rules leave it empty.
+    """
 
     rule: str
     path: str
@@ -67,6 +81,7 @@ class Finding:
     message: str
     suppressed: bool = False
     reason: str = ""
+    paths: Tuple[WitnessHop, ...] = ()
 
     @property
     def location(self) -> str:
@@ -80,6 +95,11 @@ class Finding:
             "rule": self.rule, "path": self.path,
             "line": self.line, "col": self.col, "message": self.message,
         }
+        if self.paths:
+            out["paths"] = [
+                {"path": hop[0], "line": hop[1], "symbol": hop[2]}
+                for hop in self.paths
+            ]
         if self.suppressed:
             out["reason"] = self.reason
         return out
@@ -130,7 +150,7 @@ def register(
         raise ValueError(f"{rule_id!r} is reserved for the framework")
 
     def decorator(func: Callable[[Module], Iterable[RawFinding]]):
-        if rule_id in RULES:
+        if rule_id in RULES or rule_id in PROGRAM_RULES:
             raise ValueError(f"duplicate rule id {rule_id!r}")
         RULES[rule_id] = Rule(
             id=rule_id,
@@ -138,6 +158,53 @@ def register(
             check=func,
             scope=scope if scope is not None else (lambda rel: True),
             scope_note=scope_note,
+        )
+        return func
+
+    return decorator
+
+
+#: A raw whole-program finding: (relpath, line, col, message, witness chain).
+ProgramRawFinding = Tuple[str, int, int, str, Tuple[WitnessHop, ...]]
+
+
+@dataclass(frozen=True)
+class ProgramRule:
+    """A registered whole-program (interprocedural) lint rule.
+
+    Unlike :class:`Rule`, the check runs once per lint pass over the
+    project-wide view (:class:`repro.analysis.program.Project`) rather
+    than once per file, so it can follow call chains and import edges
+    across module boundaries.
+    """
+
+    id: str
+    summary: str
+    check: Callable[[object], Iterable[ProgramRawFinding]]
+    scope_note: str
+
+
+#: Whole-program rule registry, populated by :mod:`repro.analysis.program`.
+PROGRAM_RULES: Dict[str, ProgramRule] = {}
+
+
+def register_program(
+    rule_id: str,
+    summary: str,
+    *,
+    scope_note: str = "whole program",
+):
+    """Decorator: add ``func`` to :data:`PROGRAM_RULES` under ``rule_id``."""
+    if not re.fullmatch(r"[a-z][a-z0-9-]*", rule_id):
+        raise ValueError(f"rule id must be kebab-case, got {rule_id!r}")
+    if rule_id in (BARE_SUPPRESSION, PARSE_ERROR):
+        raise ValueError(f"{rule_id!r} is reserved for the framework")
+
+    def decorator(func: Callable[[object], Iterable[ProgramRawFinding]]):
+        if rule_id in RULES or rule_id in PROGRAM_RULES:
+            raise ValueError(f"duplicate rule id {rule_id!r}")
+        PROGRAM_RULES[rule_id] = ProgramRule(
+            id=rule_id, summary=summary, check=func, scope_note=scope_note,
         )
         return func
 
@@ -226,7 +293,8 @@ def _parse_suppressions(
         if not ids:
             hygiene.append((line, 0, "suppression names no rule ids"))
         for rule_id in ids:
-            if rule_id != "*" and rule_id not in RULES:
+            if (rule_id != "*" and rule_id not in RULES
+                    and rule_id not in PROGRAM_RULES):
                 hygiene.append(
                     (line, 0, f"suppression names unknown rule {rule_id!r}")
                 )
@@ -275,12 +343,28 @@ def _find_suppression(
 # -- running the pass ----------------------------------------------------------
 
 def _select_rules(rule_ids: Optional[Sequence[str]]) -> List[Rule]:
+    """Per-file rules matching the request (program ids pass through)."""
     if rule_ids is None:
         return [RULES[rule_id] for rule_id in sorted(RULES)]
-    unknown = sorted(set(rule_ids) - set(RULES))
+    known = set(RULES) | set(PROGRAM_RULES)
+    unknown = sorted(set(rule_ids) - known)
     if unknown:
-        raise KeyError(f"unknown rule ids {unknown}; known: {sorted(RULES)}")
-    return [RULES[rule_id] for rule_id in sorted(set(rule_ids))]
+        raise KeyError(f"unknown rule ids {unknown}; known: {sorted(known)}")
+    return [
+        RULES[rule_id]
+        for rule_id in sorted(set(rule_ids)) if rule_id in RULES
+    ]
+
+
+def _select_program_rules(
+    rule_ids: Optional[Sequence[str]],
+) -> List[ProgramRule]:
+    if rule_ids is None:
+        return [PROGRAM_RULES[rule_id] for rule_id in sorted(PROGRAM_RULES)]
+    return [
+        PROGRAM_RULES[rule_id]
+        for rule_id in sorted(set(rule_ids)) if rule_id in PROGRAM_RULES
+    ]
 
 
 def lint_source(
@@ -338,9 +422,13 @@ def default_root() -> Path:
     return Path(repro.__file__).resolve().parent
 
 
-def _relpath_for(path: Path, base: Optional[Path]) -> str:
+def _relpath_for(
+    path: Path,
+    base: Optional[Path],
+    fallback: Optional[Path] = None,
+) -> str:
     path = path.resolve()
-    candidates = [base, default_root().parent, Path.cwd()]
+    candidates = [base, default_root().parent, Path.cwd(), fallback]
     for root in candidates:
         if root is None:
             continue
@@ -367,13 +455,21 @@ def lint_file(
 
 
 def _iter_py_files(paths: Sequence[Path]):
+    """Yield ``(file, owning_target_dir)`` pairs in sorted order.
+
+    The owning directory is the explicitly passed target the file was
+    found under (``None`` for directly named files); it serves as the
+    last-resort base for repo-relative path computation so lints of
+    out-of-tree directories (test fixtures) still get stable, relative
+    module paths instead of absolute ones.
+    """
     for path in sorted(Path(p).resolve() for p in paths):
         if path.is_dir():
             for sub in sorted(path.rglob("*.py")):
                 if "__pycache__" not in sub.parts:
-                    yield sub
+                    yield sub, path
         elif path.suffix == ".py":
-            yield path
+            yield path, None
 
 
 @dataclass
@@ -401,7 +497,7 @@ class LintReport:
     def to_dict(self) -> Dict[str, object]:
         per_rule: Dict[str, Dict[str, object]] = {}
         for rule_id in self.rules_run:
-            meta = RULES.get(rule_id)
+            meta = RULES.get(rule_id) or PROGRAM_RULES.get(rule_id)
             per_rule[rule_id] = {
                 "summary": meta.summary if meta else "",
                 "scope": meta.scope_note if meta else "",
@@ -424,11 +520,46 @@ class LintReport:
         }
 
 
+def _find_api_doc(targets: Sequence[Path], base: Optional[Path]):
+    """Locate ``docs/API.md`` relative to the lint roots (or ``None``)."""
+    candidates: List[Path] = []
+    if base is not None:
+        candidates.extend([base, base.parent])
+    for target in targets:
+        directory = target if target.is_dir() else target.parent
+        candidates.extend([directory, directory.parent,
+                           directory.parent.parent])
+    for directory in candidates:
+        doc = Path(directory) / "docs" / "API.md"
+        if doc.is_file():
+            return doc
+    return None
+
+
 def lint_paths(
     paths: Optional[Sequence[Path]] = None,
     rules: Optional[Sequence[str]] = None,
+    *,
+    program: bool = True,
+    cache=None,
+    changed_only: Optional[Sequence[str]] = None,
 ) -> LintReport:
-    """Lint files/directories (default: the in-tree ``repro`` package)."""
+    """Lint files/directories (default: the in-tree ``repro`` package).
+
+    ``program=True`` (the default) additionally runs the whole-program
+    rules in :data:`PROGRAM_RULES` over a project-wide call graph built
+    from every scanned file — see :mod:`repro.analysis.program`.
+
+    ``cache`` accepts a :class:`repro.analysis.cache.LintCache`; it is
+    consulted only for full-rule-set runs (``rules is None``) and stores
+    per-file findings plus the program-analysis module summary keyed by
+    file content, so warm re-lints skip parsing entirely.
+
+    ``changed_only`` restricts *per-file* findings to the given repo
+    relpaths (``--changed`` mode); whole-program rules still see the
+    full graph, since a cross-module regression can be introduced by a
+    file that did not itself change.
+    """
     if paths is None:
         root = default_root()
         targets: List[Path] = [root]
@@ -436,15 +567,50 @@ def lint_paths(
     else:
         targets = [Path(p) for p in paths]
         base = None
+    selected_file_rules = _select_rules(rules)  # validates unknown ids too
+    selected_program = _select_program_rules(rules) if program else []
+    need_summaries = bool(selected_program)
+    cache_usable = cache is not None and rules is None
+    changed = (None if changed_only is None
+               else {str(rel) for rel in changed_only})
+
     findings: List[Finding] = []
+    summaries: List[Tuple[str, Dict[str, object]]] = []
     files_scanned = 0
-    for path in _iter_py_files(targets):
+    for path, owner in _iter_py_files(targets):
         files_scanned += 1
-        findings.extend(lint_file(path, _relpath_for(path, base), rules=rules))
+        relpath = _relpath_for(path, base, owner)
+        source = path.read_text(encoding="utf-8")
+        entry = cache.lookup(relpath, source) if cache_usable else None
+        if entry is not None:
+            file_findings, summary = entry
+        else:
+            file_findings = lint_source(source, relpath, rules=rules)
+            summary = None
+            if need_summaries or cache_usable:
+                from repro.analysis.program import summarize_source
+
+                summary = summarize_source(source, relpath)
+            if cache_usable:
+                cache.store(relpath, source, file_findings, summary)
+        if changed is None or relpath in changed:
+            findings.extend(file_findings)
+        if need_summaries and summary is not None:
+            summaries.append((relpath, summary))
+    if selected_program:
+        from repro.analysis.program import analyze
+
+        findings.extend(analyze(
+            summaries, selected_program,
+            api_doc=_find_api_doc(targets, base),
+        ))
     findings.sort(key=Finding.sort_key)
     return LintReport(
         root=str(base if base is not None else Path.cwd()),
         files_scanned=files_scanned,
-        rules_run=tuple(rule.id for rule in _select_rules(rules)),
+        rules_run=tuple(sorted(
+            [rule.id for rule in selected_file_rules]
+            + [rule.id for rule in selected_program]
+        )),
         findings=findings,
     )

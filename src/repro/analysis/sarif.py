@@ -1,0 +1,92 @@
+"""SARIF 2.1.0 export of a lint report, for CI inline annotations.
+
+The canonical machine-readable artifact stays the ``repro-lint/2`` JSON
+(:meth:`repro.analysis.LintReport.to_dict`); this module renders the
+same findings in the minimal SARIF subset that code-review UIs ingest
+(``tool.driver.rules``, ``results`` with a ``physicalLocation``, and the
+cross-file witness chain as ``relatedLocations``).  Output is fully
+deterministic: rules and results are emitted in the report's sorted
+order and no timestamps are recorded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.framework import (
+    PROGRAM_RULES,
+    RULES,
+    Finding,
+    LintReport,
+)
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_descriptor(rule_id: str) -> Dict[str, object]:
+    meta = RULES.get(rule_id) or PROGRAM_RULES.get(rule_id)
+    descriptor: Dict[str, object] = {"id": rule_id}
+    if meta is not None:
+        descriptor["shortDescription"] = {"text": meta.summary}
+        descriptor["properties"] = {"scope": meta.scope_note}
+    return descriptor
+
+
+def _location(path: str, line: int, col: int) -> Dict[str, object]:
+    region: Dict[str, object] = {"startLine": max(1, line)}
+    if col:
+        region["startColumn"] = col + 1  # SARIF columns are 1-based
+    return {
+        "physicalLocation": {
+            "artifactLocation": {"uri": path},
+            "region": region,
+        },
+    }
+
+
+def _result(finding: Finding) -> Dict[str, object]:
+    result: Dict[str, object] = {
+        "ruleId": finding.rule,
+        "level": "note" if finding.suppressed else "error",
+        "message": {"text": finding.message},
+        "locations": [_location(finding.path, finding.line, finding.col)],
+    }
+    if finding.paths:
+        related: List[Dict[str, object]] = []
+        for path, line, symbol in finding.paths:
+            hop = _location(path, line, 0)
+            hop["message"] = {"text": symbol}
+            related.append(hop)
+        result["relatedLocations"] = related
+    if finding.suppressed:
+        result["suppressions"] = [{
+            "kind": "inSource",
+            "justification": finding.reason,
+        }]
+    return result
+
+
+def to_sarif(report: LintReport) -> Dict[str, object]:
+    """Render a :class:`LintReport` as a SARIF 2.1.0 log dict."""
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri": "docs/ANALYSIS.md",
+                    "rules": [
+                        _rule_descriptor(rule_id)
+                        for rule_id in report.rules_run
+                    ],
+                },
+            },
+            "columnKind": "utf16CodeUnits",
+            "results": [_result(f) for f in report.findings],
+        }],
+    }

@@ -450,12 +450,20 @@ class ParallelSweepRunner:
         progress_line: Optional[ProgressLine] = None
         if self.ledger_path is not None:
             writer = LedgerWriter(self.ledger_path)
+            # repro: allow[transitive-wall-clock] -- ledger lines carry
+            # host wall-clock timestamps by design (run provenance); they
+            # never feed simulated state or the result fingerprint.
             writer.emit("campaign-begin", scenario=label or "",
                         jobs=len(jobs), jobs_config=self.jobs)
             for job in jobs:
+                # repro: allow[transitive-wall-clock] -- ledger timestamp
+                # is host-side provenance, never simulated state.
                 writer.emit("queued", job=job.key,
                             params=job.params_digest())
         if self.progress:
+            # repro: allow[transitive-wall-clock] -- the progress display
+            # reads host time for ETA estimates only; it is write-only
+            # console output and cannot influence results.
             progress_line = ProgressLine(
                 total=len(jobs), stream=self._progress_stream
             )
@@ -484,6 +492,8 @@ class ParallelSweepRunner:
         self.last_failures = {o.key: o.error or "" for o in failed}
         self._count_outcomes(outcomes.values())
         if writer is not None:
+            # repro: allow[transitive-wall-clock] -- ledger timestamp is
+            # host-side provenance, never simulated state.
             writer.emit("campaign-end", scenario=label or "",
                         finished=len(outcomes) - len(failed),
                         failed=len(failed),
@@ -516,10 +526,15 @@ class ParallelSweepRunner:
                 merge_registry: bool) -> None:
         """Parent-side bookkeeping for one completed job."""
         if writer is not None and outcome.events:
+            # repro: allow[transitive-wall-clock] -- merged ledger events
+            # carry worker-side wall timestamps (telemetry provenance),
+            # not simulated time.
             writer.merge(outcome.events)
         if merge_registry and outcome.registry_delta:
             get_registry().merge_snapshot(outcome.registry_delta)
         if progress_line is not None:
+            # repro: allow[transitive-wall-clock] -- progress ETA math
+            # reads host time; console-only, result-invisible.
             progress_line.update(outcome.key, outcome.wall_s,
                                  failed=outcome.failed)
 
@@ -535,6 +550,8 @@ class ParallelSweepRunner:
         for job in jobs:
             now = time.time()  # repro: allow[no-wall-clock] -- heartbeat cadence is host-side telemetry, not simulated time
             if writer is not None and now - last_beat >= self.heartbeat_s:
+                # repro: allow[transitive-wall-clock] -- heartbeat lines
+                # are host-side liveness telemetry, never simulated state.
                 writer.emit("heartbeat", done=len(outcomes),
                             running=[job.key])
                 last_beat = now
@@ -585,6 +602,9 @@ class ParallelSweepRunner:
                         job.key for job, done in zip(jobs, handled)
                         if not done
                     ]
+                    # repro: allow[transitive-wall-clock] -- heartbeat
+                    # lines are host-side liveness telemetry, never
+                    # simulated state.
                     writer.emit("heartbeat", done=len(outcomes),
                                 running=running[:16])
         self.last_run_parallel = True

@@ -23,6 +23,11 @@ import csv
 from dataclasses import dataclass
 from typing import IO, Dict, Iterable, List, Optional, Union
 
+from repro.schemas import SCHEMAS
+
+#: Version tag of the per-interval samples artifact (:meth:`MetricsSampler.to_json`).
+METRICS_SAMPLES_SCHEMA = SCHEMAS["metrics-samples"]
+
 
 @dataclass(frozen=True)
 class MetricsSample:
@@ -110,7 +115,7 @@ class MetricsSampler:
 
         return json.dumps(
             {
-                "schema": "repro-metrics-samples/1",
+                "schema": METRICS_SAMPLES_SCHEMA,
                 "columns": list(METRICS_COLUMNS),
                 "interval_cycles": self.interval_cycles,
                 "rows": self.rows(),

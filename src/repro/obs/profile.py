@@ -30,9 +30,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.stitch import SpanStitcher, StitchedRun
+from repro.schemas import SCHEMAS
 
 #: Version tag written into every ProfileReport JSON artifact.
-PROFILE_SCHEMA = "repro-profile/1"
+PROFILE_SCHEMA = SCHEMAS["profile"]
 
 #: PE-pool utilization at/above which a system is called compute-bound.
 COMPUTE_BOUND_UTILIZATION = 0.60

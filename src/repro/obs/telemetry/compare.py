@@ -25,8 +25,10 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Mapping
 
+from repro.schemas import SCHEMAS
+
 #: Version tag of the comparison report.
-TELEMETRY_SCHEMA = "repro-telemetry/1"
+TELEMETRY_SCHEMA = SCHEMAS["telemetry"]
 
 #: Default gate: fail when a figure drops below 75% of baseline
 #: events/sec (quick-scale wall times are noisy; 25% headroom holds the
@@ -34,7 +36,7 @@ TELEMETRY_SCHEMA = "repro-telemetry/1"
 DEFAULT_THRESHOLD = 0.75
 
 #: Bench payload schemas this gate knows how to read.
-_KNOWN_BENCH_SCHEMAS = ("repro-bench/1", "repro-bench/2")
+_KNOWN_BENCH_SCHEMAS = ("repro-bench/1", SCHEMAS["bench"])
 
 
 class CompareError(ValueError):

@@ -45,8 +45,10 @@ import socket
 from dataclasses import dataclass, field
 from typing import Any, Dict, IO, Iterable, List, Mapping, Optional, Tuple
 
+from repro.schemas import SCHEMAS
+
 #: Version tag carried on every ledger line.
-LEDGER_SCHEMA = "repro-ledger/1"
+LEDGER_SCHEMA = SCHEMAS["ledger"]
 
 #: The closed event-name registry.  ``queued``/``started``/``heartbeat``/
 #: ``finished``/``failed`` are per-job lifecycle; ``campaign-begin`` /

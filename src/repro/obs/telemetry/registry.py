@@ -36,6 +36,11 @@ import re
 import threading
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
+from repro.schemas import SCHEMAS
+
+#: Version tag of the metrics snapshot emitted by :meth:`MetricsRegistry.to_json`.
+METRICS_SCHEMA = SCHEMAS["metrics"]
+
 #: Default histogram bucket upper bounds (seconds-flavoured, matching the
 #: sweep-job wall times this registry mostly observes).  ``+Inf`` is
 #: implicit and always present.
@@ -347,7 +352,7 @@ class MetricsRegistry:
 
     def to_json(self, indent: Optional[int] = 2) -> str:
         """The snapshot as a JSON document (sorted keys, stable order)."""
-        return json.dumps({"schema": "repro-metrics/1",
+        return json.dumps({"schema": METRICS_SCHEMA,
                            "series": self.snapshot()},
                           indent=indent, sort_keys=True)
 

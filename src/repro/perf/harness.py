@@ -63,9 +63,10 @@ from repro.experiments.scenarios import (
     resolve_scenario,
 )
 from repro.genomics import index_cache
+from repro.schemas import SCHEMAS
 from repro.sim.engine import Engine
 
-BENCH_SCHEMA = "repro-bench/2"
+BENCH_SCHEMA = SCHEMAS["bench"]
 
 ensure_registered()
 

@@ -1,0 +1,700 @@
+"""Tests for repro.analysis.program: the whole-program lint layer.
+
+Fixture mini-packages (violating + clean variants) per program rule,
+call-graph edge cases (aliased imports, method-vs-function shadowing,
+``functools.partial``), cross-file suppression semantics, the
+``repro-lint/2`` report round-trip, the warm-lint cache (parity and
+invalidation), SARIF export, and ``--changed`` scoping.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    LINT_SCHEMA,
+    PROGRAM_RULES,
+    LintCache,
+    lint_paths,
+    summarize_source,
+    to_sarif,
+)
+from repro.analysis.cli import main as lint_cli
+
+
+def write_tree(root, files):
+    for rel, src in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(src), encoding="utf-8")
+    return root
+
+
+def rule_findings(root, rule_id):
+    report = lint_paths([root], rules=[rule_id])
+    return [f for f in report.findings if f.rule == rule_id]
+
+
+# A two-hop wall-clock taint: sim code -> helper -> clock read.
+WALL_TAINT_TREE = {
+    "util.py": """
+        import time
+
+        def read_clock():
+            return time.time()
+
+        def helper():
+            return read_clock()
+    """,
+    "sim/engine.py": """
+        from util import helper
+
+        def step():
+            return helper()
+    """,
+}
+
+
+class TestTransitiveWallClock:
+    def test_two_hop_taint_reaches_sim_call_site(self, tmp_path):
+        write_tree(tmp_path, WALL_TAINT_TREE)
+        findings = rule_findings(tmp_path, "transitive-wall-clock")
+        assert [f.path for f in findings] == ["sim/engine.py"]
+        finding = findings[0]
+        assert "wall-clock read" in finding.message
+        assert "time.time" in finding.message
+        # Witness chain: flagged call site -> helper -> read_clock -> source.
+        assert len(finding.paths) >= 3
+        assert finding.paths[0][0] == "sim/engine.py"
+        assert finding.paths[-1][0] == "util.py"
+        assert finding.paths[-1][2].startswith("time.time")
+
+    def test_clean_twin_has_no_findings(self, tmp_path):
+        write_tree(tmp_path, {
+            "util.py": """
+                def helper(engine):
+                    return engine.now
+            """,
+            "sim/engine.py": """
+                from util import helper
+
+                def step(engine):
+                    return helper(engine)
+            """,
+        })
+        assert rule_findings(tmp_path, "transitive-wall-clock") == []
+
+    def test_taint_outside_ordered_dirs_not_flagged(self, tmp_path):
+        write_tree(tmp_path, {
+            "util.py": WALL_TAINT_TREE["util.py"],
+            "tools/report.py": """
+                from util import helper
+
+                def stamp():
+                    return helper()
+            """,
+        })
+        assert rule_findings(tmp_path, "transitive-wall-clock") == []
+
+    def test_call_site_suppression(self, tmp_path):
+        tree = dict(WALL_TAINT_TREE)
+        tree["sim/engine.py"] = """
+            from util import helper
+
+            def step():
+                # repro: allow[transitive-wall-clock] -- telemetry only.
+                return helper()
+        """
+        write_tree(tmp_path, tree)
+        report = lint_paths([tmp_path], rules=["transitive-wall-clock"])
+        assert [f.rule for f in report.active] == []
+        assert [f.rule for f in report.suppressed] == [
+            "transitive-wall-clock"
+        ]
+        assert "telemetry only" in report.suppressed[0].reason
+
+    def test_cross_file_root_suppression_clears_downstream(self, tmp_path):
+        """Sanctioning the source de-taints every caller in other files."""
+        tree = dict(WALL_TAINT_TREE)
+        tree["util.py"] = """
+            import time
+
+            def read_clock():
+                # repro: allow[transitive-wall-clock] -- host-side only.
+                return time.time()
+
+            def helper():
+                return read_clock()
+        """
+        write_tree(tmp_path, tree)
+        assert rule_findings(tmp_path, "transitive-wall-clock") == []
+
+    def test_boundary_suppression_stops_cascade_midway(self, tmp_path):
+        """A suppressed call edge de-taints its (transitive) callers."""
+        write_tree(tmp_path, {
+            "util.py": WALL_TAINT_TREE["util.py"],
+            "bridge.py": """
+                from util import helper
+
+                def record():
+                    # repro: allow[transitive-wall-clock] -- provenance.
+                    return helper()
+            """,
+            "sim/engine.py": """
+                from bridge import record
+
+                def step():
+                    return record()
+            """,
+        })
+        assert rule_findings(tmp_path, "transitive-wall-clock") == []
+
+
+class TestTransitiveUnseededRng:
+    def test_global_rng_taint(self, tmp_path):
+        write_tree(tmp_path, {
+            "noise.py": """
+                import random
+
+                def jitter():
+                    return random.random()
+            """,
+            "genomics/sample.py": """
+                from noise import jitter
+
+                def draw():
+                    return jitter()
+            """,
+        })
+        findings = rule_findings(tmp_path, "transitive-unseeded-rng")
+        assert [f.path for f in findings] == ["genomics/sample.py"]
+        assert "RNG" in findings[0].message
+        assert findings[0].paths[-1][0] == "noise.py"
+
+    def test_seeded_twin_is_clean(self, tmp_path):
+        write_tree(tmp_path, {
+            "noise.py": """
+                import random
+
+                def jitter(seed):
+                    return random.Random(seed).random()
+            """,
+            "genomics/sample.py": """
+                from noise import jitter
+
+                def draw(seed):
+                    return jitter(seed)
+            """,
+        })
+        assert rule_findings(tmp_path, "transitive-unseeded-rng") == []
+
+
+class TestSweepJobPicklable:
+    def test_lambda_flagged(self, tmp_path):
+        write_tree(tmp_path, {
+            "jobs.py": """
+                from repro.experiments import SweepJob
+
+                def build():
+                    return SweepJob("k", lambda: 1)
+            """,
+        })
+        findings = rule_findings(tmp_path, "sweep-job-picklable")
+        assert len(findings) == 1
+        assert "lambda passed to SweepJob()" in findings[0].message
+
+    def test_local_def_flagged(self, tmp_path):
+        write_tree(tmp_path, {
+            "jobs.py": """
+                from repro.experiments import SweepJob
+
+                def build():
+                    def point():
+                        return 1
+                    return SweepJob("k", point)
+            """,
+        })
+        findings = rule_findings(tmp_path, "sweep-job-picklable")
+        assert len(findings) == 1
+        assert "'point'" in findings[0].message
+        assert "hoist it to module level" in findings[0].message
+
+    def test_partial_over_lambda_flagged(self, tmp_path):
+        write_tree(tmp_path, {
+            "jobs.py": """
+                import functools
+
+                from repro.experiments import SweepJob
+
+                def build():
+                    return SweepJob("k", functools.partial(lambda x: x, 1))
+            """,
+        })
+        findings = rule_findings(tmp_path, "sweep-job-picklable")
+        assert len(findings) == 1
+        assert "lambda" in findings[0].message
+
+    def test_module_level_def_is_clean(self, tmp_path):
+        write_tree(tmp_path, {
+            "jobs.py": """
+                import functools
+
+                from repro.experiments import SweepJob
+
+                def point(x):
+                    return x
+
+                def build():
+                    return [
+                        SweepJob("a", point),
+                        SweepJob("b", functools.partial(point, 1)),
+                        SweepJob("c", func=point),
+                    ]
+            """,
+        })
+        assert rule_findings(tmp_path, "sweep-job-picklable") == []
+
+
+SCHEMA_REGISTRY = """
+    SCHEMAS = {"bench": "repro-bench/2"}
+
+    LEGACY_SCHEMA_IDS = frozenset({"repro-bench/1"})
+"""
+
+
+class TestSchemaIdRegistry:
+    def test_emit_site_with_superseded_id_flagged(self, tmp_path):
+        write_tree(tmp_path, {
+            "schemas.py": SCHEMA_REGISTRY,
+            "emitter.py": """
+                def stale():
+                    return {"schema": "repro-bench/1"}
+            """,
+        })
+        findings = rule_findings(tmp_path, "schema-id-registry")
+        assert len(findings) == 1
+        assert "not registered for emit sites" in findings[0].message
+        assert "superseded" in findings[0].message
+        assert findings[0].paths[0][2] == "SCHEMAS"
+
+    def test_unregistered_literal_flagged(self, tmp_path):
+        write_tree(tmp_path, {
+            "schemas.py": SCHEMA_REGISTRY,
+            "emitter.py": """
+                def typo():
+                    return "repro-bnech/9"
+            """,
+        })
+        findings = rule_findings(tmp_path, "schema-id-registry")
+        assert len(findings) == 1
+        assert "not in the SCHEMAS registry" in findings[0].message
+
+    def test_registry_backed_emit_and_legacy_check_are_clean(self, tmp_path):
+        write_tree(tmp_path, {
+            "schemas.py": SCHEMA_REGISTRY,
+            "emitter.py": """
+                from schemas import SCHEMAS
+
+                def good():
+                    return {"schema": SCHEMAS["bench"]}
+
+                def checker(payload):
+                    return payload.get("schema") in (
+                        "repro-bench/1", "repro-bench/2"
+                    )
+            """,
+        })
+        assert rule_findings(tmp_path, "schema-id-registry") == []
+
+    def test_unknown_family_flagged(self, tmp_path):
+        write_tree(tmp_path, {
+            "schemas.py": SCHEMA_REGISTRY,
+            "emitter.py": """
+                from schemas import SCHEMAS
+
+                def bad():
+                    return {"schema": SCHEMAS["nope"]}
+            """,
+        })
+        findings = rule_findings(tmp_path, "schema-id-registry")
+        assert len(findings) == 1
+        assert "unregistered schema family" in findings[0].message
+
+    def test_rule_dormant_without_a_registry(self, tmp_path):
+        write_tree(tmp_path, {
+            "emitter.py": """
+                def stale():
+                    return {"schema": "repro-bench/1"}
+            """,
+        })
+        assert rule_findings(tmp_path, "schema-id-registry") == []
+
+
+class TestExportDocSync:
+    def doc_tree(self, table_rows, exports):
+        rows = "\n".join(f"| `{name}` | a thing |" for name in table_rows)
+        return {
+            "docs/API.md": (
+                "# API\n\n## `repro` — fixture package\n\n"
+                "| name | what it is |\n|---|---|\n" + rows + "\n"
+            ),
+            "repro/__init__.py": f"""
+                class Thing:
+                    pass
+
+                class Hidden:
+                    pass
+
+                __all__ = {exports!r}
+            """,
+        }
+
+    def test_undocumented_export_flagged(self, tmp_path):
+        write_tree(
+            tmp_path, self.doc_tree(["Thing"], ["Hidden", "Thing"])
+        )
+        findings = rule_findings(tmp_path, "export-doc-sync")
+        assert len(findings) == 1
+        assert "repro.Hidden is exported via __all__" in findings[0].message
+        assert findings[0].path == "repro/__init__.py"
+
+    def test_documented_ghost_flagged(self, tmp_path):
+        write_tree(
+            tmp_path,
+            self.doc_tree(["Thing", "Hidden", "Gone"], ["Hidden", "Thing"]),
+        )
+        findings = rule_findings(tmp_path, "export-doc-sync")
+        assert len(findings) == 1
+        assert "'Gone'" in findings[0].message
+        assert findings[0].paths[0][0] == "docs/API.md"
+
+    def test_synced_doc_is_clean(self, tmp_path):
+        write_tree(
+            tmp_path, self.doc_tree(["Thing", "Hidden"], ["Hidden", "Thing"])
+        )
+        assert rule_findings(tmp_path, "export-doc-sync") == []
+
+    def test_rule_dormant_without_api_doc(self, tmp_path):
+        tree = self.doc_tree(["Thing"], ["Hidden", "Thing"])
+        del tree["docs/API.md"]
+        write_tree(tmp_path, tree)
+        assert rule_findings(tmp_path, "export-doc-sync") == []
+
+
+class TestCallGraphEdgeCases:
+    def test_aliased_import_resolves(self, tmp_path):
+        write_tree(tmp_path, {
+            "util.py": WALL_TAINT_TREE["util.py"],
+            "sim/engine.py": """
+                from util import helper as h
+
+                def step():
+                    return h()
+            """,
+        })
+        findings = rule_findings(tmp_path, "transitive-wall-clock")
+        assert [f.path for f in findings] == ["sim/engine.py"]
+
+    def test_method_vs_function_shadowing(self, tmp_path):
+        """An annotated receiver picks the method, not the same-named
+        module function; an unimported bare name gets no edge."""
+        write_tree(tmp_path, {
+            "dev.py": """
+                import time
+
+                class Device:
+                    def reset(self):
+                        return time.time()
+
+                def reset():
+                    return 0
+            """,
+            "sim/run.py": """
+                from dev import Device
+
+                def go(d: Device):
+                    return d.reset()
+
+                def local():
+                    return reset()
+            """,
+        })
+        findings = rule_findings(tmp_path, "transitive-wall-clock")
+        assert len(findings) == 1
+        assert "Device.reset" in findings[0].message
+
+    def test_ambiguous_receiver_gets_no_edge(self, tmp_path):
+        """Two classes defining the method and no annotation: no edge,
+        no finding — the graph under-approximates."""
+        write_tree(tmp_path, {
+            "a.py": """
+                import time
+
+                class A:
+                    def tick(self):
+                        return time.time()
+            """,
+            "b.py": """
+                class B:
+                    def tick(self):
+                        return 0
+            """,
+            "sim/amb.py": """
+                def go(x):
+                    return x.tick()
+            """,
+        })
+        assert rule_findings(tmp_path, "transitive-wall-clock") == []
+
+    def test_self_call_resolves_through_class(self, tmp_path):
+        write_tree(tmp_path, {
+            "sim/comp.py": """
+                import time
+
+                class Component:
+                    def _stamp(self):
+                        return time.time()
+
+                    def run(self):
+                        return self._stamp()
+            """,
+        })
+        findings = rule_findings(tmp_path, "transitive-wall-clock")
+        assert len(findings) == 1
+        assert "Component._stamp" in findings[0].message
+
+
+class TestReportRoundTrip:
+    def test_lint2_schema_and_paths(self, tmp_path):
+        write_tree(tmp_path, WALL_TAINT_TREE)
+        report = lint_paths([tmp_path])
+        payload = report.to_dict()
+        assert payload["schema"] == LINT_SCHEMA == "repro-lint/2"
+        program = [
+            f for f in payload["findings"]
+            if f["rule"] == "transitive-wall-clock"
+        ]
+        assert program, payload["findings"]
+        hops = program[0]["paths"]
+        assert all(set(h) == {"path", "line", "symbol"} for h in hops)
+        # Round-trips through JSON byte-identically.
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        assert json.loads(text) == payload
+
+    def test_per_file_findings_have_no_paths_key(self, tmp_path):
+        (tmp_path / "bad.py").write_text("def f(x=[]):\n    return x\n")
+        payload = lint_paths([tmp_path]).to_dict()
+        finding = payload["findings"][0]
+        assert finding["rule"] == "no-mutable-default-arg"
+        assert "paths" not in finding
+
+    def test_program_rules_listed_in_report(self, tmp_path):
+        (tmp_path / "ok.py").write_text("X = 1\n")
+        payload = lint_paths([tmp_path]).to_dict()
+        for rule_id in PROGRAM_RULES:
+            assert rule_id in payload["rules"]
+        assert "transitive-wall-clock" not in lint_paths(
+            [tmp_path], program=False
+        ).to_dict()["rules"]
+
+
+class TestLintCache:
+    def make_tree(self, tmp_path):
+        return write_tree(tmp_path / "tree", WALL_TAINT_TREE)
+
+    def test_warm_report_is_byte_identical(self, tmp_path):
+        tree = self.make_tree(tmp_path)
+        cache_path = tmp_path / "cache.json"
+        cold_cache = LintCache(cache_path)
+        cold = lint_paths([tree], cache=cold_cache)
+        cold_cache.save()
+        assert cache_path.is_file()
+
+        warm_cache = LintCache(cache_path)
+        assert warm_cache._entries  # the store round-tripped
+        warm = lint_paths([tree], cache=warm_cache)
+        cold_text = json.dumps(cold.to_dict(), indent=2, sort_keys=True)
+        warm_text = json.dumps(warm.to_dict(), indent=2, sort_keys=True)
+        assert cold_text == warm_text
+
+    def test_edited_file_invalidates_its_entry(self, tmp_path):
+        tree = self.make_tree(tmp_path)
+        cache_path = tmp_path / "cache.json"
+        cache = LintCache(cache_path)
+        first = lint_paths([tree], cache=cache)
+        cache.save()
+        assert any(
+            f.rule == "transitive-wall-clock" for f in first.findings
+        )
+
+        (tree / "util.py").write_text(
+            "def read_clock():\n    return 0\n\n"
+            "def helper():\n    return read_clock()\n"
+        )
+        second = lint_paths([tree], cache=LintCache(cache_path))
+        assert not any(
+            f.rule == "transitive-wall-clock" for f in second.findings
+        )
+
+    def test_cache_ignored_with_rule_filter(self, tmp_path):
+        tree = self.make_tree(tmp_path)
+        cache = LintCache(tmp_path / "cache.json")
+        lint_paths([tree], rules=["no-wall-clock"], cache=cache)
+        cache.save()
+        assert not (tmp_path / "cache.json").exists()
+
+
+class TestSarifExport:
+    def test_sarif_shape(self, tmp_path):
+        write_tree(tmp_path, WALL_TAINT_TREE)
+        sarif = to_sarif(lint_paths([tmp_path]))
+        assert sarif["version"] == "2.1.0"
+        run = sarif["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert "transitive-wall-clock" in rule_ids
+        results = [
+            r for r in run["results"]
+            if r["ruleId"] == "transitive-wall-clock"
+        ]
+        assert results
+        result = results[0]
+        assert result["level"] == "error"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "sim/engine.py"
+        assert location["region"]["startColumn"] >= 1
+        assert len(result["relatedLocations"]) >= 3
+
+    def test_suppressed_findings_become_notes(self, tmp_path):
+        write_tree(tmp_path, {
+            "sim/x.py": """
+                import time
+
+                # repro: allow[no-wall-clock] -- test fixture waiver.
+                NOW = time.time()
+            """,
+        })
+        sarif = to_sarif(lint_paths([tmp_path]))
+        results = sarif["runs"][0]["results"]
+        assert results[0]["level"] == "note"
+        assert results[0]["suppressions"][0]["kind"] == "inSource"
+        assert "waiver" in results[0]["suppressions"][0]["justification"]
+
+
+class TestChangedScoping:
+    def test_per_file_findings_scoped_program_findings_kept(self, tmp_path):
+        write_tree(tmp_path, WALL_TAINT_TREE)
+        full = lint_paths([tmp_path])
+        assert any(f.rule == "no-wall-clock" for f in full.findings)
+
+        scoped = lint_paths([tmp_path], changed_only=["sim/engine.py"])
+        rules = {f.rule for f in scoped.findings}
+        assert "no-wall-clock" not in rules  # util.py not "changed"
+        assert "transitive-wall-clock" in rules  # program rules: full graph
+
+    def test_empty_changed_set_still_runs_program_rules(self, tmp_path):
+        write_tree(tmp_path, WALL_TAINT_TREE)
+        scoped = lint_paths([tmp_path], changed_only=[])
+        assert {f.rule for f in scoped.findings} == {
+            "transitive-wall-clock"
+        }
+
+
+class TestCli:
+    def test_each_program_rule_exits_nonzero_on_seeded_violation(
+        self, tmp_path, capsys
+    ):
+        trees = {
+            "transitive-wall-clock": WALL_TAINT_TREE,
+            "transitive-unseeded-rng": {
+                "noise.py": "import random\n\n\ndef jitter():\n"
+                            "    return random.random()\n",
+                "genomics/s.py": "from noise import jitter\n\n\n"
+                                 "def draw():\n    return jitter()\n",
+            },
+            "sweep-job-picklable": {
+                "jobs.py": "def build():\n"
+                           "    return SweepJob('k', lambda: 1)\n",
+            },
+            "schema-id-registry": {
+                "schemas.py": textwrap.dedent(SCHEMA_REGISTRY),
+                "emitter.py": "def stale():\n"
+                              "    return {'schema': 'repro-bench/1'}\n",
+            },
+            "export-doc-sync": {
+                "docs/API.md": "## `repro` — pkg\n\n| name | x |\n"
+                               "|---|---|\n| `Gone` | y |\n",
+                "repro/__init__.py": "__all__ = []\n",
+            },
+        }
+        for rule_id, files in trees.items():
+            root = tmp_path / rule_id
+            write_tree(root, files)
+            assert lint_cli([str(root), "--no-cache"]) == 1, rule_id
+            assert rule_id in capsys.readouterr().out
+
+    def test_no_program_skips_program_rules(self, tmp_path, capsys):
+        write_tree(tmp_path, {
+            "jobs.py": "def build():\n"
+                       "    return SweepJob('k', lambda: 1)\n",
+        })
+        assert lint_cli([str(tmp_path), "--no-cache"]) == 1
+        capsys.readouterr()
+        assert lint_cli([str(tmp_path), "--no-cache", "--no-program"]) == 0
+
+    def test_rule_filter_accepts_program_rule(self, tmp_path, capsys):
+        write_tree(tmp_path, WALL_TAINT_TREE)
+        assert lint_cli(
+            [str(tmp_path), "--rule", "transitive-wall-clock"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "via util.py:" in out  # witness chain is printed
+        assert lint_cli([str(tmp_path), "--rule", "no-set-iteration-order"]) == 0
+
+    def test_sarif_output(self, tmp_path, capsys):
+        write_tree(tmp_path, WALL_TAINT_TREE)
+        out_file = tmp_path / "out.sarif"
+        assert lint_cli(
+            [str(tmp_path), "--no-cache", "--sarif", str(out_file)]
+        ) == 1
+        payload = json.loads(out_file.read_text())
+        assert payload["version"] == "2.1.0"
+
+    def test_list_rules_includes_program_rules(self, capsys):
+        assert lint_cli(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in PROGRAM_RULES:
+            assert rule_id in out
+
+
+class TestSummaries:
+    def test_summarize_source_shape(self):
+        summary = summarize_source(
+            "import time\n\n\ndef f():\n    return time.time()\n",
+            "pkg/mod.py",
+        )
+        assert summary["module"] == "pkg.mod"
+        assert "f" in summary["functions"]
+        assert summary["functions"]["f"]["taint"]["wall"]
+
+    def test_unparsable_source_yields_stub_summary(self):
+        summary = summarize_source("def broken(:\n", "pkg/mod.py")
+        assert summary["unparsed"] is True
+
+
+class TestRegistryHygiene:
+    def test_program_rules_registered(self):
+        expected = {
+            "transitive-wall-clock",
+            "transitive-unseeded-rng",
+            "sweep-job-picklable",
+            "schema-id-registry",
+            "export-doc-sync",
+        }
+        assert expected <= set(PROGRAM_RULES)
+
+    def test_program_and_file_registries_disjoint(self):
+        from repro.analysis import RULES
+
+        assert not set(RULES) & set(PROGRAM_RULES)
