@@ -19,6 +19,7 @@ and deterministic; running a second workload on a consumed system raises
 
 from __future__ import annotations
 
+from functools import partial
 from typing import List, Sequence
 
 import numpy as np
@@ -119,10 +120,11 @@ class BeaconSystem:
         before = sum(m.tasks_completed for m in self.ndp_modules)
         for module, tasks in zip(self.ndp_modules, tasks_per_module):
             route = fabric.route(fabric.host.name, module.node)
+            submit = module.submit_task
             for task in tasks:
                 fabric.send(
                     route, MessageKind.TASK, task.payload_bytes,
-                    on_delivered=(lambda m=module, t=task: m.submit_task(t)),
+                    on_delivered=partial(submit, task),
                 )
         self.engine.run()
         completed = sum(m.tasks_completed for m in self.ndp_modules) - before

@@ -15,6 +15,7 @@ the last operand returns, the Task Scheduler re-queues the task.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable, Dict, Optional
 
 from repro.core.address_translator import AddressTranslator
@@ -91,6 +92,21 @@ class NdpModule(Component):
             assert task is not None
             self._advance(task)
 
+    def _bind_task(self, task: Task) -> None:
+        """Cache this module's resume/operand callbacks on the task.
+
+        A task advances through thousands of compute resumptions and
+        operand returns; binding two partials once per (task, module) pair
+        replaces a closure allocation per event.  Migration hands tasks to
+        a different module, so the owner is re-checked at use sites.
+        """
+        task.cb_owner = self
+        task.resume_cb = partial(self._advance, task)
+        task.operand_cb = partial(self._operand_ready, task)
+
+    def _operand_ready(self, task: Task, _request: MemoryRequest) -> None:
+        self.scheduler.operand_ready(task)
+
     def _advance(self, task: Task) -> None:
         """Run the task on its PE until it parks or finishes."""
         try:
@@ -108,7 +124,9 @@ class NdpModule(Component):
                     args={"task": task.task_id,
                           "algorithm": task.algorithm.value},
                 )
-            self.engine.schedule(step.cycles, lambda: self._advance(task))
+            if task.cb_owner is not self:
+                self._bind_task(task)
+            self.engine.schedule(step.cycles, task.resume_cb)
             return
         if isinstance(step, MemStep):
             target = self._migration_target(step)
@@ -188,23 +206,35 @@ class NdpModule(Component):
             # The PE switches to another task while this one waits.
             self.pes.release()
             self._dispatch()
+        if task.cb_owner is not self:
+            self._bind_task(task)
+        operand_cb = task.operand_cb
+        stat_add = self.stats.add
+        stat_add("mem_requests", len(accesses))
+        translate = self.translator.translate
+        pool = self.pool
+        dimm_nodes = pool.dimm_nodes
+        node = self.node
+        task_id = task.task_id
+        local = 0
         for spec in accesses:
             request = MemoryRequest(
                 addr=spec.addr,
                 size=spec.size,
                 kind=spec.kind,
                 data_class=spec.data_class,
-                task_id=task.task_id,
-                source=self.node,
-                on_complete=lambda _req, t=task: self.scheduler.operand_ready(t),
+                task_id=task_id,
+                source=node,
+                on_complete=operand_cb,
             )
-            self.translator.translate(request)
-            self.stats.add("mem_requests", 1)
+            translate(request)
             if request.dimm_index is not None and (
-                self.pool.dimm_nodes[request.dimm_index] == self.node
+                dimm_nodes[request.dimm_index] == node
             ):
-                self.stats.add("local_requests", 1)
-            self.pool.access(request, self.node)
+                local += 1
+            pool.access(request, node)
+        if local:
+            stat_add("local_requests", local)
 
     def _complete(self, task: Task) -> None:
         task.finished_at = self.now

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, List, Optional, Sequence, Union
+from typing import Callable, Iterator, List, NamedTuple, Optional, Sequence, Union
 
 from repro.core.config import PE_COMPUTE_CYCLES, Algorithm
 from repro.dram.request import AccessKind, DataClass
@@ -33,8 +33,13 @@ from repro.genomics.workloads import PrealignPair
 from repro.memmgmt.regions import Region
 
 
-@dataclass(frozen=True)
-class AccessSpec:
+# The step records are NamedTuples rather than frozen dataclasses: the
+# step generators allocate one per simulated compute/memory step, and
+# tuple construction avoids the per-field ``object.__setattr__`` cost
+# frozen dataclasses pay on that path.
+
+
+class AccessSpec(NamedTuple):
     """One memory access a task step needs."""
 
     addr: int
@@ -43,15 +48,13 @@ class AccessSpec:
     data_class: DataClass = DataClass.GENERIC
 
 
-@dataclass(frozen=True)
-class ComputeStep:
+class ComputeStep(NamedTuple):
     """PE-busy computation for ``cycles`` DRAM cycles."""
 
     cycles: int
 
 
-@dataclass(frozen=True)
-class MemStep:
+class MemStep(NamedTuple):
     """Parallel memory accesses; the task resumes when all complete."""
 
     accesses: Sequence[AccessSpec]
@@ -75,6 +78,14 @@ class Task:
     waiting_operands: int = 0
     started_at: Optional[int] = None
     finished_at: Optional[int] = None
+    #: Per-(task, module) callback cache filled in by the NDP module so a
+    #: task's thousands of compute resumptions and operand returns reuse
+    #: two callables instead of allocating a closure per event.  ``cb_owner``
+    #: identifies the module the cached pair is bound to; task migration
+    #: (MEDAL) moves tasks between modules, which invalidates the pair.
+    cb_owner: object = None
+    resume_cb: Optional[Callable[[], None]] = None
+    operand_cb: Optional[Callable[..., None]] = None
 
 
 # ---------------------------------------------------------------------------

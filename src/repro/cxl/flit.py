@@ -32,13 +32,17 @@ class MessageKind(enum.Enum):
 _message_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One logical payload travelling the fabric.
 
     ``payload_bytes`` is the *useful* content; how many wire bytes it costs
     depends on whether the channel packs fine-grained payloads together
     (see :class:`repro.cxl.packer.PackedChannel`).
+
+    The wire-cost fields are fixed by ``kind``/``payload_bytes`` and read
+    on every fabric hop, so they are computed once at construction rather
+    than exposed as properties.
     """
 
     kind: MessageKind
@@ -49,30 +53,24 @@ class Message:
     cargo: object = None
     msg_id: int = field(default_factory=lambda: next(_message_ids))
     created_at: Optional[int] = None
+    #: Per-message header cost when packed into a shared flit.
+    header_bytes: int = field(init=False)
+    #: Wire cost contribution when sharing flits with other payloads.
+    packed_wire_bytes: int = field(init=False)
+    #: Wire cost without data packing: whole flits only.
+    unpacked_wire_bytes: int = field(init=False)
 
     def __post_init__(self) -> None:
         if self.payload_bytes <= 0:
             raise ValueError("payload_bytes must be positive")
-
-    @property
-    def header_bytes(self) -> int:
-        """Per-message header cost when packed into a shared flit."""
         if self.kind is MessageKind.MEM_REQUEST:
-            return REQUEST_HEADER_BYTES
-        if self.kind is MessageKind.MEM_RESPONSE:
-            return PACKED_HEADER_BYTES
-        return PACKED_HEADER_BYTES
-
-    @property
-    def unpacked_wire_bytes(self) -> int:
-        """Wire cost without data packing: whole flits only."""
-        total = self.payload_bytes + self.header_bytes
-        return -(-total // FLIT_BYTES) * FLIT_BYTES
-
-    @property
-    def packed_wire_bytes(self) -> int:
-        """Wire cost contribution when sharing flits with other payloads."""
-        return self.payload_bytes + self.header_bytes
+            header = REQUEST_HEADER_BYTES
+        else:
+            header = PACKED_HEADER_BYTES
+        self.header_bytes = header
+        total = self.payload_bytes + header
+        self.packed_wire_bytes = total
+        self.unpacked_wire_bytes = -(-total // FLIT_BYTES) * FLIT_BYTES
 
     def deliver(self) -> None:
         if self.on_delivered is not None:

@@ -48,8 +48,40 @@ def _wire_tag(batch: List[Message]) -> Dict[str, object]:
     return tag
 
 
+class _BatchDelivery:
+    """Delivers one flushed batch of packed messages at link arrival.
+
+    A slotted callable instead of a per-flush closure; after delivery the
+    batch list is recycled into the channel's small freelist so steady-state
+    packing allocates one ``_BatchDelivery`` per flush and nothing else.
+    """
+
+    __slots__ = ("channel", "batch")
+
+    def __init__(self, channel: "PackedChannel", batch: List[Message]) -> None:
+        self.channel = channel
+        self.batch = batch
+
+    def __call__(self) -> None:
+        batch = self.batch
+        for message in batch:
+            cb = message.on_delivered
+            if cb is not None:
+                cb(message)
+        # Delivery callbacks only ever append to the channel's *current*
+        # buffer, never to this already-shipped batch, so it is safe to
+        # recycle here.
+        free = self.channel._free_batches
+        if len(free) < PackedChannel.BATCH_FREELIST_CAP:
+            batch.clear()
+            free.append(batch)
+
+
 class PackedChannel(Component):
     """Send interface over one link, with or without data packing."""
+
+    #: Cap on retained drained batch lists for reuse.
+    BATCH_FREELIST_CAP = 8
 
     def __init__(
         self,
@@ -69,24 +101,52 @@ class PackedChannel(Component):
         self._buffer: List[Message] = []
         self._buffer_bytes = 0
         self._flush_scheduled_at: Optional[int] = None
+        #: Live handle for the pending timeout flush (cancellable, so a
+        #: buffer-full flush retracts the timer instead of leaving a dead
+        #: event in the queue).
+        self._flush_handle = None
+        self._free_batches: List[List[Message]] = []
+        self._counters = self.stats.counters
 
     def send(self, message: Message) -> None:
         """Queue ``message`` for transfer; its callback fires at delivery."""
-        message.created_at = self.now
-        self.stats.add("payload_bytes", message.payload_bytes)
-        if not self.packing or message.packed_wire_bytes >= FLIT_BYTES:
+        engine = self.engine
+        now = engine.now
+        message.created_at = now
+        # Inlined counter updates (one per send/flush, ~1M sends per
+        # figure); lazily created keys, same accounting as ``stats.add``.
+        counters = self._counters
+        if "payload_bytes" not in counters:
+            counters["payload_bytes"] = 0.0
+        counters["payload_bytes"] += message.payload_bytes
+        packed_bytes = message.packed_wire_bytes
+        if not self.packing or packed_bytes >= FLIT_BYTES:
             # Large payloads gain nothing from packing; ship them directly.
-            self.stats.add("direct_messages", 1)
-            tracer = self.engine.tracer
-            tag = _wire_tag([message]) if tracer else None
+            if "direct_messages" not in counters:
+                counters["direct_messages"] = 0.0
+            counters["direct_messages"] += 1
+            tag = _wire_tag([message]) if engine.tracer else None
             self.link.transfer(message.unpacked_wire_bytes, message.deliver,
                                tag=tag)
             return
+        link = self.link
+        if not self._buffer and link.free_at <= now and engine.tracer is None:
+            # Idle link, empty buffer: this message would flush alone this
+            # cycle anyway (one sub-flit payload -> one flit); skip the
+            # buffer round-trip.  Kept off under tracing so the flit_flush
+            # instant stream is unchanged.
+            if "packed_flits" not in counters:
+                counters["packed_flits"] = 0.0
+                counters["packed_messages"] = 0.0
+            counters["packed_flits"] += 1
+            counters["packed_messages"] += 1
+            link.transfer(FLIT_BYTES, message.deliver)
+            return
         self._buffer.append(message)
-        self._buffer_bytes += message.packed_wire_bytes
+        self._buffer_bytes += packed_bytes
         if self._buffer_bytes >= FLIT_BYTES:
             self._flush()
-        elif self.link.free_at <= self.now:
+        elif link.free_at <= now:
             # Link is idle: waiting for co-travellers would only add latency.
             self._flush()
         else:
@@ -97,29 +157,45 @@ class PackedChannel(Component):
     # -- packing internals ------------------------------------------------------
 
     def _arm_flush_timer(self) -> None:
-        wait = min(self.flush_timeout, max(1, self.link.free_at - self.now))
-        deadline = self.now + wait
-        if self._flush_scheduled_at is not None and self._flush_scheduled_at <= deadline:
-            return
+        now = self.engine.now
+        wait = self.link.free_at - now
+        if wait < 1:
+            wait = 1
+        elif wait > self.flush_timeout:
+            wait = self.flush_timeout
+        deadline = now + wait
+        if self._flush_scheduled_at is not None:
+            if self._flush_scheduled_at <= deadline:
+                return
+            self._flush_handle.cancel()
         self._flush_scheduled_at = deadline
-        self.engine.schedule(wait, self._timeout_flush)
+        self._flush_handle = self.engine.schedule_cancellable(
+            wait, self._timeout_flush
+        )
 
     def _timeout_flush(self) -> None:
-        if self._flush_scheduled_at is None or self.now < self._flush_scheduled_at:
-            return
         self._flush_scheduled_at = None
+        self._flush_handle = None
         if self._buffer:
             self._flush()
 
     def _flush(self) -> None:
         batch = self._buffer
         batch_bytes = self._buffer_bytes
-        self._buffer = []
+        free = self._free_batches
+        self._buffer = free.pop() if free else []
         self._buffer_bytes = 0
-        self._flush_scheduled_at = None
+        if self._flush_scheduled_at is not None:
+            self._flush_scheduled_at = None
+            self._flush_handle.cancel()
+            self._flush_handle = None
         wire = -(-batch_bytes // FLIT_BYTES) * FLIT_BYTES
-        self.stats.add("packed_flits", wire // FLIT_BYTES)
-        self.stats.add("packed_messages", len(batch))
+        counters = self._counters
+        if "packed_flits" not in counters:
+            counters["packed_flits"] = 0.0
+            counters["packed_messages"] = 0.0
+        counters["packed_flits"] += wire // FLIT_BYTES
+        counters["packed_messages"] += len(batch)
         tracer = self.engine.tracer
         tag = None
         if tracer:
@@ -140,12 +216,17 @@ class PackedChannel(Component):
                 "cxl", "flit_flush", self.path, self.now,
                 pid=self.engine.trace_id, args=args,
             )
-
-        def deliver_all() -> None:
-            for message in batch:
-                message.deliver()
-
-        self.link.transfer(wire, deliver_all, tag=tag)
+        if len(batch) == 1:
+            # Idle-link sends flush immediately, so single-message batches
+            # dominate: ship the message's own bound ``deliver`` and recycle
+            # the list now instead of allocating a ``_BatchDelivery``.
+            message = batch[0]
+            batch.clear()
+            if len(free) < PackedChannel.BATCH_FREELIST_CAP:
+                free.append(batch)
+            self.link.transfer(wire, message.deliver, tag=tag)
+            return
+        self.link.transfer(wire, _BatchDelivery(self, batch), tag=tag)
 
     # -- reporting ----------------------------------------------------------------
 

@@ -92,6 +92,50 @@ class Route:
         return len(self.hops)
 
 
+class _RouteProgress:
+    """Walks one payload along a route's hops, then fires the callback.
+
+    One slotted walker and one :class:`Message` serve the whole route: hop
+    ``i + 1`` only begins after hop ``i`` delivers, so the message is never
+    on two channels at once and can be re-sent as-is.  This replaces the
+    historical per-hop ``Message`` + closure pair on the hottest fabric
+    path.
+    """
+
+    __slots__ = ("hops", "index", "on_delivered", "message")
+
+    def __init__(
+        self,
+        hops: List[PackedChannel],
+        kind: MessageKind,
+        payload_bytes: int,
+        destination: str,
+        cargo: object,
+        on_delivered: Callable[[], None],
+    ) -> None:
+        self.hops = hops
+        self.index = 0
+        self.on_delivered = on_delivered
+        self.message = Message(
+            kind=kind,
+            payload_bytes=payload_bytes,
+            destination=destination,
+            cargo=cargo,
+            on_delivered=self._advance,
+        )
+
+    def start(self) -> None:
+        self.hops[0].send(self.message)
+
+    def _advance(self, _message: Message) -> None:
+        index = self.index + 1
+        if index == len(self.hops):
+            self.on_delivered()
+            return
+        self.index = index
+        self.hops[index].send(self.message)
+
+
 class Fabric(Component):
     """Tree-structured interconnect with per-edge packed channels."""
 
@@ -103,10 +147,19 @@ class Fabric(Component):
         self._internal: Dict[str, PackedChannel] = {}
         self.host: Optional[Host] = None
         self.switches: Dict[str, CxlSwitch] = {}
+        #: (src, dst, force_host) -> (route, switches that turn the
+        #: traffic around).  Routes over a fixed topology are pure, so
+        #: they are computed once; the per-call *accounting* side effects
+        #: (host detour / switch turnaround counters) are replayed from
+        #: the cached entry.  Cleared whenever the topology grows.
+        self._route_cache: Dict[
+            Tuple[str, str, bool], Tuple[Route, List[CxlSwitch]]
+        ] = {}
 
     # -- construction -------------------------------------------------------------
 
     def add_host(self, name: str = "host") -> Host:
+        self._route_cache.clear()
         self.host = Host(self.engine, name, self, self.comm.resolve(self.comm.host_bus))
         self._parent_of[name] = None
         self._internal[name] = self._make_channel(self.host.bus, f"{name}.buschan")
@@ -115,6 +168,7 @@ class Fabric(Component):
     def add_switch(self, name: str, uplink: Optional[LinkParams] = None) -> CxlSwitch:
         if self.host is None:
             raise RuntimeError("add_host first")
+        self._route_cache.clear()
         switch = CxlSwitch(
             self.engine, name, self, self.comm.resolve(self.comm.switch_bus)
         )
@@ -133,6 +187,7 @@ class Fabric(Component):
         """
         if self.host is None:
             raise RuntimeError("add_host first")
+        self._route_cache.clear()
         self._parent_of[name] = self.host.name
         shared = Link(
             self.engine, f"{name}.bus", self,
@@ -147,6 +202,7 @@ class Fabric(Component):
                       downlink: Optional[LinkParams] = None) -> None:
         if parent not in self._parent_of:
             raise ValueError(f"unknown parent node {parent!r}")
+        self._route_cache.clear()
         self._parent_of[name] = parent
         shared = getattr(self, "_shared_buses", {}).get(parent)
         if shared is not None:
@@ -191,9 +247,25 @@ class Fabric(Component):
         ``force_host`` models the missing device-bias optimization: the
         route is stretched to the host even when a switch could turn the
         traffic around locally.
+
+        Each call also performs per-traversal *accounting* (host-detour /
+        switch-turnaround counters); routes themselves are memoized over
+        the fixed topology and the accounting is replayed on cache hits.
         """
+        key = (src, dst, force_host)
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            route, turnarounds = cached
+            if route.via_host:
+                self.host.record_detour(0)
+            else:
+                for switch in turnarounds:
+                    switch.record_turnaround()
+            return route
         if src == dst:
-            return Route(src, dst, [], via_host=False)
+            route = Route(src, dst, [], via_host=False)
+            self._route_cache[key] = (route, [])
+            return route
         up = self._ancestors(src)
         down = self._ancestors(dst)
         up_index = {n: i for i, n in enumerate(up)}
@@ -210,13 +282,18 @@ class Fabric(Component):
             if node in self._internal:
                 hops.append(self._internal[node])
         via_host = self.host is not None and self.host.name in seq
+        turnarounds: List[CxlSwitch] = []
         if via_host and self.host is not None:
             self.host.record_detour(0)
         else:
             for node in seq[1:-1]:
-                if node in self.switches:
-                    self.switches[node].record_turnaround()
-        return Route(src, dst, hops, via_host)
+                switch = self.switches.get(node)
+                if switch is not None:
+                    switch.record_turnaround()
+                    turnarounds.append(switch)
+        route = Route(src, dst, hops, via_host)
+        self._route_cache[key] = (route, turnarounds)
+        return route
 
     # -- transfer ----------------------------------------------------------------------
 
@@ -233,25 +310,50 @@ class Fabric(Component):
         if not hops:
             self.engine.schedule(self.comm.dimm_local_latency, on_delivered)
             return
-
-        def advance(index: int) -> None:
-            if index == len(hops):
-                on_delivered()
-                return
-            message = Message(
-                kind=kind,
-                payload_bytes=payload_bytes,
-                destination=route.dst,
-                cargo=cargo,
-                on_delivered=lambda _m, i=index: advance(i + 1),
-            )
-            hops[index].send(message)
-
-        advance(0)
+        _RouteProgress(
+            hops, kind, payload_bytes, route.dst, cargo, on_delivered
+        ).start()
 
     def comm_energy_pj(self) -> float:
         """Total communication energy accrued on every link of the fabric."""
         return self.stats.total("energy_pj")
+
+
+class _AccessFlight:
+    """One non-atomic access in flight through the pool.
+
+    Carries the response route and the caller's continuation across the
+    request trip / DRAM service / response trip sequence as bound-method
+    callbacks — the pool serves one of these per memory request, where
+    the previous closure trio was a measurable allocation cost.
+    """
+
+    __slots__ = ("pool", "request", "route_resp", "original_cb")
+
+    def __init__(self, pool: "MemoryPool", request: MemoryRequest,
+                 route_resp: Route) -> None:
+        self.pool = pool
+        self.request = request
+        self.route_resp = route_resp
+        self.original_cb = request.on_complete
+
+    def submit(self) -> None:
+        """Request arrived at the DIMM: hand it to the controller."""
+        request = self.request
+        request.on_complete = self.on_dram_done
+        self.pool.controllers[request.dimm_index].submit_when_possible(request)
+
+    def on_dram_done(self, req: MemoryRequest) -> None:
+        """DRAM serviced the request: send the response back."""
+        payload = WRITE_ACK_PAYLOAD if req.is_write else req.size
+        self.pool.fabric.send(
+            self.route_resp, MessageKind.MEM_RESPONSE, payload,
+            on_delivered=self.deliver, cargo=req,
+        )
+
+    def deliver(self) -> None:
+        """Response arrived at the source: fire the caller's callback."""
+        self.pool._finish(self.request, self.original_cb)
 
 
 class MemoryPool(Component):
@@ -356,26 +458,11 @@ class MemoryPool(Component):
         route_req = self.fabric.route(src_node, dst_node, force_host=force_host)
         route_resp = self.fabric.route(dst_node, src_node, force_host=force_host)
 
-        original_callback = request.on_complete
-
-        def on_dram_done(req: MemoryRequest) -> None:
-            payload = WRITE_ACK_PAYLOAD if req.is_write else req.size
-            self.fabric.send(
-                route_resp,
-                MessageKind.MEM_RESPONSE,
-                payload,
-                on_delivered=lambda: self._finish(req, original_callback),
-                cargo=req,
-            )
-
-        def submit() -> None:
-            request.on_complete = on_dram_done
-            self.controllers[request.dimm_index].submit_when_possible(request)
-
+        flight = _AccessFlight(self, request, route_resp)
         req_payload = READ_REQUEST_PAYLOAD + (request.size if request.is_write else 0)
         self.fabric.send(
             route_req, MessageKind.MEM_REQUEST, req_payload,
-            on_delivered=submit, cargo=request,
+            on_delivered=flight.submit, cargo=request,
         )
 
     def _finish(self, request: MemoryRequest, callback) -> None:

@@ -8,7 +8,7 @@ from typing import Optional, Tuple
 from repro.dram.timing import DramTiming
 
 
-@dataclass
+@dataclass(slots=True)
 class Bank:
     """State of one DRAM bank (per rank, per chip).
 
@@ -48,12 +48,21 @@ class Bank:
 
     def earliest_start(self, now: int, needs_activate: bool, timing: DramTiming) -> int:
         """Earliest cycle the access's command sequence may begin."""
-        start = max(now, self.free_at)
+        # Branching instead of max() chains: called per bank per planning
+        # pass, and builtins.max on two ints is slower than a compare.
+        start = self.free_at
+        if start < now:
+            start = now
         if needs_activate:
-            start = max(start, self.last_act_at + timing.trc)
+            act = self.last_act_at
+            gate = act + timing.trc
+            if start < gate:
+                start = gate
             if self.open_row is not None:
                 # Conflicting row must satisfy tRAS before its precharge.
-                start = max(start, self.last_act_at + timing.tras)
+                gate = act + timing.tras
+                if start < gate:
+                    start = gate
         return start
 
     def commit(

@@ -19,16 +19,26 @@ class ChipAccessCounters:
 
     def __init__(self, geometry: DimmGeometry) -> None:
         self.geometry = geometry
-        self.bursts = np.zeros((geometry.ranks, geometry.chips_per_rank), dtype=np.int64)
+        # Flat Python ints: the controller credits a handful of chips per
+        # issued request, where a numpy fancy-index add costs microseconds
+        # of dispatch for a 16-element slice.
+        self._chips_per_rank = geometry.chips_per_rank
+        self.bursts: List[int] = [0] * (geometry.ranks * geometry.chips_per_rank)
 
     def record(self, rank: int, chip_group: int, chips_per_group: int, bursts: int) -> None:
         """Credit ``bursts`` bursts to every chip in the accessed group."""
-        first = chip_group * chips_per_group
-        self.bursts[rank, first : first + chips_per_group] += bursts
+        base = rank * self._chips_per_rank + chip_group * chips_per_group
+        counts = self.bursts
+        for index in range(base, base + chips_per_group):
+            counts[index] += bursts
 
     def per_chip(self) -> List[int]:
         """Total bursts per chip position, summed over ranks."""
-        return [int(v) for v in self.bursts.sum(axis=0)]
+        chips = self._chips_per_rank
+        totals = [0] * chips
+        for index, value in enumerate(self.bursts):
+            totals[index % chips] += value
+        return totals
 
     def normalized(self) -> List[float]:
         """Per-chip bursts normalized to the mean (the Fig. 13 series).

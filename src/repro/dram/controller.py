@@ -64,14 +64,25 @@ class DimmController(Component):
         #: Requests waiting for queue space (admitted FIFO as slots free up).
         self._waiters: Deque[MemoryRequest] = deque()
         self._wake_at: Optional[int] = None
-        #: req_id -> (global epoch, bank epoch, bus-epoch digest, plan).
-        #: Validity is two-tier: an unchanged global epoch (a scheduling
-        #: pass that issued nothing) validates every entry in O(1); after
-        #: an issue, the per-bank/per-bus epochs revalidate entries that do
-        #: not share state with what was issued.
+        #: Live handle for the pending scheduling pass; superseding an
+        #: already-scheduled later pass cancels it outright instead of
+        #: letting a stale event fire and bail.
+        self._wake_handle = None
+        #: The issue path updates four counters per request; it writes the
+        #: scope's dict directly rather than paying a ``stats.add`` call each.
+        self._counters = self.stats.counters
+        # Per-DIMM constants hoisted out of the planning loop (both the
+        # timing and geometry dataclasses are frozen for the DIMM's life).
+        self._timing = dimm.timing
+        self._burst_bytes_per_chip = dimm.geometry.burst_bytes_per_chip
+        #: Cached plans live on each request's ``plan_entry`` slot as
+        #: (global epoch, bank epoch, bus-epoch digest, plan).  Validity is
+        #: two-tier: an unchanged global epoch (a scheduling pass that
+        #: issued nothing) validates every entry in O(1); after an issue,
+        #: the per-bank/per-bus epochs revalidate entries that do not share
+        #: state with what was issued.
         #: ``REPRO_DISABLE_PLAN_CACHE=1`` forces the always-recompute path
         #: (the perf harness uses it to verify bit-identical results).
-        self._plan_cache: Dict[int, Tuple[int, int, int, Plan]] = {}
         self._plan_cache_enabled = os.environ.get(
             "REPRO_DISABLE_PLAN_CACHE", ""
         ).lower() not in ("1", "true", "yes")
@@ -139,17 +150,25 @@ class DimmController(Component):
     # -- scheduling ---------------------------------------------------------------
 
     def _wake(self, delay: int) -> None:
-        """Schedule a scheduling pass, collapsing redundant wakeups."""
+        """Schedule a scheduling pass, collapsing redundant wakeups.
+
+        An already-pending pass at or before ``target`` covers this wakeup;
+        a pending *later* pass is cancelled (O(1) via its handle) and
+        replaced, so superseded wakeups never reach the event loop.
+        """
         target = self.engine.now + delay
-        if self._wake_at is not None and self._wake_at <= target:
-            return
+        if self._wake_at is not None:
+            if self._wake_at <= target:
+                return
+            self._wake_handle.cancel()
         self._wake_at = target
-        self.engine.schedule(delay, self._schedule_pass)
+        self._wake_handle = self.engine.schedule_cancellable(
+            delay, self._schedule_pass
+        )
 
     def _schedule_pass(self) -> None:
-        if self._wake_at is not None and self._wake_at > self.engine.now:
-            return  # superseded by an earlier pass
         self._wake_at = None
+        self._wake_handle = None
         next_start: Optional[int] = None
         while self.queue:
             picked = self._pick_ready()
@@ -172,27 +191,29 @@ class DimmController(Component):
         """
         coord = request.coord
         dimm = self.dimm
-        timing = dimm.timing
-        group_bytes = dimm.geometry.burst_bytes_per_chip * coord.chips_per_group
+        timing = self._timing
+        group_bytes = self._burst_bytes_per_chip * coord.chips_per_group
         transfer = -(-request.size // group_bytes) * timing.tbl
-        chips = range(coord.first_chip, coord.first_chip + coord.chips_per_group)
+        first_chip = coord.first_chip
+        chips = range(first_chip, first_chip + coord.chips_per_group)
         rank, bank_index, row = coord.rank, coord.bank, coord.row
-        is_write = request.is_write
-        get_bank = dimm.bank
-        banks = [get_bank(rank, chip, bank_index) for chip in chips]
-        pre_data, activate = banks[0].classify(row, timing, is_write)
+        banks = dimm.bank_group(
+            rank, first_chip, coord.chips_per_group, bank_index
+        )
+        pre_data, activate = banks[0].classify(row, timing, request.is_write)
         # All constraints below are pure maxima over bank/bus state, so the
         # earliest start relative to any ``now`` is just ``max(now, start)``
         # — computing from 0 yields a plan reusable across wakeups.
         start = 0
-        chip_free = dimm.chip_free_at
-        for chip, bank in zip(chips, banks):
+        chip_free, index = dimm.chip_free_window(rank, first_chip)
+        for bank in banks:
             s = bank.earliest_start(start, activate, timing)
             if s > start:
                 start = s
-            bus = chip_free(rank, chip) - pre_data
+            bus = chip_free[index] - pre_data
             if bus > start:
                 start = bus
+            index += 1
         return start, pre_data, transfer, activate, banks, chips
 
     def _plan(self, request: MemoryRequest) -> Plan:
@@ -201,7 +222,7 @@ class DimmController(Component):
             return self._compute_plan(request)
         dimm = self.dimm
         epoch = dimm.state_epoch
-        cached = self._plan_cache.get(request.req_id)
+        cached = request.plan_entry
         if cached is not None:
             if cached[0] == epoch:
                 self.plan_cache_hits += 1
@@ -214,9 +235,7 @@ class DimmController(Component):
             if cached[1] == bank_ep and cached[2] == bus_ep:
                 # State advanced elsewhere on the DIMM; this plan's banks
                 # and buses did not move.  Refresh the fast-path stamp.
-                self._plan_cache[request.req_id] = (
-                    epoch, bank_ep, bus_ep, cached[3]
-                )
+                request.plan_entry = (epoch, bank_ep, bus_ep, cached[3])
                 self.plan_cache_hits += 1
                 return cached[3]
         else:
@@ -226,7 +245,7 @@ class DimmController(Component):
                 coord.rank, coord.first_chip, coord.chips_per_group
             )
         plan = self._compute_plan(request)
-        self._plan_cache[request.req_id] = (epoch, bank_ep, bus_ep, plan)
+        request.plan_entry = (epoch, bank_ep, bus_ep, plan)
         self.plan_cache_misses += 1
         return plan
 
@@ -265,14 +284,16 @@ class DimmController(Component):
 
     def _issue(self, request: MemoryRequest, plan: Plan) -> None:
         start, pre_data, transfer_cycles, activate, banks, chips = plan
-        if start < self.engine.now:
-            start = self.engine.now  # plan start is now-independent
-        self._plan_cache.pop(request.req_id, None)
+        engine = self.engine
+        now = engine.now
+        if start < now:
+            start = now  # plan start is now-independent
+        request.plan_entry = None
         coord = request.coord
         dimm = self.dimm
-        timing = dimm.timing
+        timing = self._timing
         bursts = transfer_cycles // timing.tbl
-        tracer = self.engine.tracer
+        tracer = engine.tracer
         trace_dram = bool(tracer) and tracer.wants("dram")
         if trace_dram:
             # Row-buffer outcome must be read *before* commit mutates it.
@@ -282,12 +303,15 @@ class DimmController(Component):
                 row_state = "miss"
             else:
                 row_state = "conflict"
-        finish = start
+        # ``Bank.commit`` always completes at start + pre_data + transfer
+        # regardless of bank state, so the finish cycle is computed once
+        # rather than max-folded over the group.
+        finish = start + pre_data + transfer_cycles
+        row = coord.row
+        is_write = request.is_write
         for bank in banks:
-            f = bank.commit(start, coord.row, pre_data, transfer_cycles,
-                            activate, timing, request.is_write)
-            if f > finish:
-                finish = f
+            bank.commit(start, row, pre_data, transfer_cycles,
+                        activate, timing, is_write)
         if trace_dram:
             # The span covers the full service window [start, finish) —
             # completion is scheduled at ``finish`` — so the profiler's
@@ -311,18 +335,29 @@ class DimmController(Component):
         if activate:
             dimm.energy.on_activate(chips=coord.chips_per_group)
         # The chip data bus is occupied only during the transfer window.
-        for chip in chips:
-            dimm.set_chip_free_at(coord.rank, chip, finish)
+        dimm.set_group_free_at(
+            coord.rank, coord.first_chip, coord.chips_per_group, finish
+        )
         dimm.chip_counters.record(
             coord.rank, coord.chip_group, coord.chips_per_group, bursts
         )
         dimm.energy.on_burst(coord.chips_per_group, bursts, request.is_write)
-        group_bytes_per_burst = (
-            dimm.geometry.burst_bytes_per_chip * coord.chips_per_group
+        # Inlined counter updates (four per issued request), keys created
+        # lazily on the first issue exactly as ``stats.add`` would.
+        counters = self._counters
+        if "issued" not in counters:
+            counters["issued"] = 0.0
+            counters["bursts"] = 0.0
+            counters["bytes_accessed"] = 0.0
+            counters["useful_bytes"] = 0.0
+        counters["issued"] += 1
+        counters["bursts"] += bursts
+        counters["bytes_accessed"] += (
+            bursts * self._burst_bytes_per_chip * coord.chips_per_group
         )
-        self.stats.add("issued", 1)
-        self.stats.add("bursts", bursts)
-        self.stats.add("bytes_accessed", bursts * group_bytes_per_burst)
-        self.stats.add("useful_bytes", request.size)
-        self.stats.record("service_cycles", finish - self.engine.now)
-        self.engine.schedule_at(finish, lambda r=request: r.complete(self.engine.now))
+        counters["useful_bytes"] += request.size
+        self.stats.record("service_cycles", finish - now)
+        # The completion cycle is known now: stamp it and schedule the
+        # request's bound completion method instead of a per-request lambda.
+        request.completed_at = finish
+        engine.schedule_at(finish, request.fire_completion)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import enum
-from typing import List
+from typing import Dict, List, Optional, Tuple
 
 from repro.dram.bank import Bank
 from repro.dram.chip import ChipAccessCounters
@@ -61,11 +61,25 @@ class Dimm(Component):
         #: an issue only invalidates plans that actually share state with it.
         self.state_epoch: int = 0
         # Flat bank array indexed by (rank, chip, bank) — this is the
-        # simulator's hottest data structure.
+        # simulator's hottest data structure.  The geometry scalars the
+        # index math needs are hoisted to plain ints here; going through
+        # the DimmGeometry properties costs a descriptor call per lookup.
+        self._banks_per_chip = geometry.banks
+        self._chips_per_rank = geometry.chips_per_rank
         self._banks_per_rank = geometry.chips_per_rank * geometry.banks
-        self._banks: List[Bank] = [
-            Bank() for _ in range(geometry.ranks * self._banks_per_rank)
-        ]
+        # Bank state objects materialize lazily on first touch: a sweep
+        # configuration builds hundreds of DIMMs whose workloads often hit
+        # only a fraction of the bank space, and constructing the full
+        # array dominated small-figure setup profiles.  An untouched bank
+        # is indistinguishable from a fresh one (refresh only clamps
+        # ``free_at`` forward and closes rows — both no-ops on idle banks).
+        self._banks: List[Optional[Bank]] = [None] * (
+            geometry.ranks * self._banks_per_rank
+        )
+        # Chip-group -> bank-object list memo for the controller's planning
+        # loop.  Bank objects live for the DIMM's lifetime, so entries never
+        # invalidate; the key space is bounded by (ranks x groups x banks).
+        self._group_memo: Dict[Tuple[int, int, int, int], List[Bank]] = {}
         self.chip_counters = ChipAccessCounters(geometry)
         # Per-(rank, chip) data-bus availability, flat.
         self._chip_free_at: List[int] = [0] * (
@@ -86,35 +100,114 @@ class Dimm(Component):
         self.refresh = RefreshEngine(self)
 
     def bank(self, rank: int, chip: int, bank: int) -> Bank:
-        return self._banks[
-            rank * self._banks_per_rank + chip * self.geometry.banks + bank
-        ]
+        index = rank * self._banks_per_rank + chip * self._banks_per_chip + bank
+        entry = self._banks[index]
+        if entry is None:
+            entry = self._banks[index] = Bank()
+        return entry
+
+    def bank_group(
+        self, rank: int, first_chip: int, chips_per_group: int, bank: int
+    ) -> List[Bank]:
+        """The ``bank``-index banks of one chip group, in chip order.
+
+        Memoized: the controller re-plans the same (rank, group, bank)
+        combinations constantly and the bank objects never move.  Callers
+        must not mutate the returned list.
+        """
+        key = (rank, first_chip, chips_per_group, bank)
+        try:
+            return self._group_memo[key]
+        except KeyError:
+            banks = self._banks
+            base = rank * self._banks_per_rank + bank
+            per_chip = self._banks_per_chip
+            group = []
+            for chip in range(first_chip, first_chip + chips_per_group):
+                index = base + chip * per_chip
+                entry = banks[index]
+                if entry is None:
+                    entry = banks[index] = Bank()
+                group.append(entry)
+            self._group_memo[key] = group
+            return group
 
     def chip_free_at(self, rank: int, chip: int) -> int:
-        return self._chip_free_at[rank * self.geometry.chips_per_rank + chip]
+        return self._chip_free_at[rank * self._chips_per_rank + chip]
 
     def set_chip_free_at(self, rank: int, chip: int, time: int) -> None:
-        index = rank * self.geometry.chips_per_rank + chip
+        index = rank * self._chips_per_rank + chip
         self._chip_free_at[index] = time
         self._bus_epoch[index] += 1
         self.state_epoch += 1
+
+    def set_group_free_at(
+        self, rank: int, first_chip: int, chips: int, time: int
+    ) -> None:
+        """Advance every data bus of one chip group to ``time``.
+
+        Equivalent to ``chips`` calls of :meth:`set_chip_free_at` (the
+        epochs move identically); batched because the controller does this
+        once per issued request across the whole group.
+        """
+        base = rank * self._chips_per_rank + first_chip
+        free = self._chip_free_at
+        epochs = self._bus_epoch
+        for index in range(base, base + chips):
+            free[index] = time
+            epochs[index] += 1
+        self.state_epoch += chips
+
+    def chip_free_window(self, rank: int, first_chip: int) -> Tuple[List[int], int]:
+        """The flat bus-availability list and the index of ``first_chip``.
+
+        The controller's planning loop reads one bus slot per chip in a
+        group; handing it the backing list plus a base index turns those
+        reads into plain subscripts.  The list is mutated in place and
+        never rebound, so the reference stays valid for the DIMM's life.
+        """
+        return self._chip_free_at, rank * self._chips_per_rank + first_chip
 
     # -- plan-cache invalidation --------------------------------------------------
 
     def note_bank_commit(self, rank: int, bank: int) -> None:
         """An access committed against bank ``bank`` of ``rank`` (any chip
         group): plans reading that bank index are stale."""
-        self._bank_epoch[rank * self.geometry.banks + bank] += 1
+        self._bank_epoch[rank * self._banks_per_chip + bank] += 1
         self.state_epoch += 1
 
     def bank_epoch(self, rank: int, bank: int) -> int:
-        return self._bank_epoch[rank * self.geometry.banks + bank]
+        return self._bank_epoch[rank * self._banks_per_chip + bank]
 
     def bus_epoch_sum(self, rank: int, first_chip: int, chips: int) -> int:
         """Monotonic digest of the data-bus state a chip group depends on
         (strictly increases whenever any covered chip's bus advances)."""
-        base = rank * self.geometry.chips_per_rank + first_chip
+        base = rank * self._chips_per_rank + first_chip
         return sum(self._bus_epoch[base : base + chips])
+
+    def apply_refresh(self, busy_until: int) -> None:
+        """Block every bank and chip bus until ``busy_until`` (REF for all
+        ranks) and close all rows.
+
+        Flat sweeps over the state arrays on behalf of the refresh engine —
+        the triple (rank, chip, bank) loop through :meth:`bank` showed up in
+        profiles.  Bus epochs are bumped wholesale by the caller's
+        :meth:`bump_state_epoch`, which invalidates every cached plan, so
+        the per-entry epochs need no individual increments here.
+        """
+        for bank in self._banks:
+            if bank is None:
+                # Never-touched bank: clamping ``free_at`` forward and
+                # closing the (already closed) row would be no-ops.
+                continue
+            if bank.free_at < busy_until:
+                bank.free_at = busy_until
+            # REF implicitly precharges every row.
+            bank.open_row = None
+        free = self._chip_free_at
+        for index, at in enumerate(free):
+            if at < busy_until:
+                free[index] = busy_until
 
     def bump_state_epoch(self) -> None:
         """Invalidate every cached timing plan (refresh moved all banks)."""
@@ -134,12 +227,12 @@ class Dimm(Component):
 
     @property
     def total_activations(self) -> int:
-        return sum(b.activations for b in self._banks)
+        return sum(b.activations for b in self._banks if b is not None)
 
     @property
     def total_row_hits(self) -> int:
-        return sum(b.row_hits for b in self._banks)
+        return sum(b.row_hits for b in self._banks if b is not None)
 
     @property
     def total_row_conflicts(self) -> int:
-        return sum(b.row_conflicts for b in self._banks)
+        return sum(b.row_conflicts for b in self._banks if b is not None)

@@ -57,16 +57,7 @@ class RefreshEngine:
         dimm = self.dimm
         geo = dimm.geometry
         busy_until = self.engine.now + self.timing.trfc
-        for rank in range(geo.ranks):
-            for chip in range(geo.chips_per_rank):
-                for bank_index in range(geo.banks):
-                    bank = dimm.bank(rank, chip, bank_index)
-                    if bank.free_at < busy_until:
-                        bank.free_at = busy_until
-                    # REF implicitly precharges every row.
-                    bank.open_row = None
-                if dimm.chip_free_at(rank, chip) < busy_until:
-                    dimm.set_chip_free_at(rank, chip, busy_until)
+        dimm.apply_refresh(busy_until)
         self.refreshes += 1
         # Banks and buses moved without going through the controller's
         # issue path: cached timing plans are stale.

@@ -5,7 +5,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, NamedTuple, Optional
 
 
 class AccessKind(enum.Enum):
@@ -55,9 +55,13 @@ class DataClass(enum.Enum):
         )
 
 
-@dataclass(frozen=True)
-class DramCoord:
-    """Physical DRAM coordinates of an address within one DIMM."""
+class DramCoord(NamedTuple):
+    """Physical DRAM coordinates of an address within one DIMM.
+
+    A ``NamedTuple`` rather than a frozen dataclass: one coordinate is
+    constructed per address-mapped request, and tuple construction skips
+    the per-field ``object.__setattr__`` cost frozen dataclasses pay.
+    """
 
     rank: int
     bank: int          # flat bank index (bank_group * banks_per_group + bank)
@@ -75,7 +79,7 @@ class DramCoord:
 _request_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryRequest:
     """One memory access travelling through the pool.
 
@@ -92,7 +96,7 @@ class MemoryRequest:
     task_id: Optional[int] = None
     source: str = ""
     on_complete: Optional[Callable[["MemoryRequest"], None]] = None
-    req_id: int = field(default_factory=lambda: next(_request_ids))
+    req_id: int = field(default_factory=_request_ids.__next__)
     issued_at: Optional[int] = None
     completed_at: Optional[int] = None
     #: Cycle the request first reached its DIMM controller (parked or
@@ -102,16 +106,22 @@ class MemoryRequest:
     #: Filled in during routing.
     dimm_index: Optional[int] = None
     coord: Optional[DramCoord] = None
+    #: DIMM-controller scratch: ``(global epoch, bank epoch, bus-epoch
+    #: digest, plan)`` for this request, or ``None``.  Living on the
+    #: request (one slot, cleared at issue) instead of a controller-side
+    #: dict keyed by ``req_id`` keeps the planning fast path free of
+    #: dictionary traffic.
+    plan_entry: Optional[tuple] = field(init=False, default=None, repr=False)
+    #: ``kind is WRITE``, fixed at construction; the DRAM timing path reads
+    #: this per bank per scheduling pass, so it is a plain attribute.
+    is_write: bool = field(init=False)
 
     def __post_init__(self) -> None:
         if self.addr < 0:
             raise ValueError(f"negative address {self.addr:#x}")
         if self.size <= 0:
             raise ValueError(f"request size must be positive, got {self.size}")
-
-    @property
-    def is_write(self) -> bool:
-        return self.kind is AccessKind.WRITE
+        self.is_write = self.kind is AccessKind.WRITE
 
     @property
     def latency(self) -> Optional[int]:
@@ -123,5 +133,15 @@ class MemoryRequest:
     def complete(self, now: int) -> None:
         """Mark completion and invoke the continuation."""
         self.completed_at = now
+        if self.on_complete is not None:
+            self.on_complete(self)
+
+    def fire_completion(self) -> None:
+        """Invoke the continuation; ``completed_at`` must already be set.
+
+        The DRAM controller knows the completion cycle at issue time, so it
+        stamps ``completed_at`` up front and schedules this zero-argument
+        bound method directly instead of allocating a closure per request.
+        """
         if self.on_complete is not None:
             self.on_complete(self)

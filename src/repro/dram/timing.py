@@ -8,11 +8,17 @@ CL-tRCD-tRP = 22-22-22 per Table I).  The geometry matches Table I's DIMM:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 
 @dataclass(frozen=True)
 class DramTiming:
-    """DDR4 timing constraints in DRAM cycles."""
+    """DDR4 timing constraints in DRAM cycles.
+
+    Derived figures use ``cached_property`` (which writes straight into the
+    instance ``__dict__``, bypassing the frozen ``__setattr__``) because the
+    DRAM controller reads them in its per-request planning loop.
+    """
 
     tck_ns: float = 1.25   # DDR4-1600
     tcas: int = 22         # CL: read command -> first data
@@ -28,22 +34,22 @@ class DramTiming:
     trefi: int = 6240      # refresh interval (7.8 us at 1.25 ns/cycle)
     trfc: int = 280        # refresh cycle time (350 ns for 8 Gb parts)
 
-    @property
+    @cached_property
     def trc(self) -> int:
         """Minimum time between activates to the same bank."""
         return self.tras + self.trp
 
-    @property
+    @cached_property
     def row_hit_read(self) -> int:
         """Cycles from issuing a read on an open row to last data beat."""
         return self.tcas + self.tbl
 
-    @property
+    @cached_property
     def row_miss_read(self) -> int:
         """Closed/conflicting row: PRE + ACT + read."""
         return self.trp + self.trcd + self.tcas + self.tbl
 
-    @property
+    @cached_property
     def row_closed_read(self) -> int:
         """Precharged bank: ACT + read."""
         return self.trcd + self.tcas + self.tbl
@@ -73,17 +79,17 @@ class DimmGeometry:
     #: at the real value and the mappings simply never exceed it.
     capacity_bytes: int = 64 << 30
 
-    @property
+    @cached_property
     def banks(self) -> int:
         """Flat banks per rank."""
         return self.bank_groups * self.banks_per_group
 
-    @property
+    @cached_property
     def row_bytes_per_rank(self) -> int:
         """Bytes per row across a lockstep rank (all chips)."""
         return self.row_bytes_per_chip * self.chips_per_rank
 
-    @property
+    @cached_property
     def burst_bytes_per_rank(self) -> int:
         """Bytes per burst across a lockstep rank: the 64 B line."""
         return self.burst_bytes_per_chip * self.chips_per_rank

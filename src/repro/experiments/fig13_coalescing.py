@@ -34,7 +34,7 @@ def _cxlg_chip_profile(system: BeaconD) -> tuple:
     series: List[List[float]] = []
     imbalances: List[float] = []
     for dimm in system.pool.dimms:
-        if dimm.kind.fine_grained and dimm.chip_counters.bursts.sum() > 0:
+        if dimm.kind.fine_grained and sum(dimm.chip_counters.bursts) > 0:
             series.append(dimm.chip_counters.normalized())
             imbalances.append(dimm.chip_counters.imbalance())
     chips = len(series[0])

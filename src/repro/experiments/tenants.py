@@ -436,6 +436,30 @@ class ServingWorkbench:
         )
 
 
+class _QueryDispatch:
+    """Arrival event for one pre-scheduled serving query.
+
+    A slotted callable replacing the historical pair of nested closures
+    per query: ``__call__`` fires at the arrival cycle and ships the task
+    message; ``_deliver`` hands the task to its NDP module on arrival.
+    """
+
+    __slots__ = ("fabric", "route", "module", "task")
+
+    def __init__(self, fabric, route, module, task: Task) -> None:
+        self.fabric = fabric
+        self.route = route
+        self.module = module
+        self.task = task
+
+    def __call__(self) -> None:
+        self.fabric.send(self.route, MessageKind.TASK,
+                         self.task.payload_bytes, on_delivered=self._deliver)
+
+    def _deliver(self) -> None:
+        self.module.submit_task(self.task)
+
+
 def _flags_for(backend: str) -> OptimizationFlags:
     """Full optimization stack for BEACON variants, vanilla otherwise."""
     if backend in ("beacon-d", "beacon-s"):
@@ -519,12 +543,9 @@ def run_serving_point(
         task.on_done = _on_done
         module = modules[pos % len(modules)]
         route = routes[pos % len(modules)]
-
-        def _send(m=module, r=route, t=task) -> None:
-            fabric.send(r, MessageKind.TASK, t.payload_bytes,
-                        on_delivered=(lambda m=m, t=t: m.submit_task(t)))
-
-        system.engine.schedule_at(query.arrival, _send)
+        system.engine.schedule_at(
+            query.arrival, _QueryDispatch(fabric, route, module, task)
+        )
     system.engine.run()
 
     completed = sum(len(v) for v in latencies.values())

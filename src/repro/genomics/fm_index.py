@@ -16,8 +16,7 @@ algorithm on real addresses.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
@@ -58,12 +57,13 @@ def build_suffix_array(codes: np.ndarray) -> np.ndarray:
     return np.argsort(rank, kind="stable").astype(np.int64)
 
 
-@dataclass(frozen=True)
-class FMStepAccess:
+class FMStepAccess(NamedTuple):
     """One backward-search step's memory footprint.
 
     ``blocks`` holds the (deduplicated, ordered) index-block numbers read in
-    this step; each corresponds to one 32-byte fine-grained access.
+    this step; each corresponds to one 32-byte fine-grained access.  A
+    NamedTuple: one is constructed per backward-search step across every
+    seeding task, where frozen-dataclass construction cost is measurable.
     """
 
     symbol: int
@@ -107,6 +107,13 @@ class FMIndex:
         cumulative = np.vstack([np.zeros((1, 4), dtype=np.int64), np.cumsum(one_hot, axis=0)])
         boundaries = np.arange(self.num_blocks) * self.BASES_PER_BLOCK
         self.checkpoints = cumulative[boundaries]
+        # Rank-query fast paths: the BWT as bytes (``bytes.count`` scans a
+        # block tail at C speed) and the checkpoint/C tables as plain int
+        # tuples — extracting numpy scalars per occ() call dominated the
+        # seeding drivers' compute profile.
+        self._bwt_bytes = self.bwt.tobytes()
+        self._cp_rows = [tuple(int(v) for v in row) for row in self.checkpoints]
+        self._c_ints = tuple(int(v) for v in self.C)
 
     # -- index geometry ------------------------------------------------------
 
@@ -138,16 +145,15 @@ class FMIndex:
         block = row // self.BASES_PER_BLOCK
         if block >= self.num_blocks:
             block = self.num_blocks - 1
-        base = int(self.checkpoints[block][symbol])
+        base = self._cp_rows[block][symbol]
         start = block * self.BASES_PER_BLOCK
         if row > start:
-            base += int(np.count_nonzero(self.bwt[start:row] == symbol))
+            base += self._bwt_bytes.count(symbol, start, row)
         return base
 
     def _step(self, symbol: int, top: int, bot: int) -> Tuple[int, int]:
-        new_top = int(self.C[symbol]) + self.occ(symbol, top)
-        new_bot = int(self.C[symbol]) + self.occ(symbol, bot)
-        return new_top, new_bot
+        c = self._c_ints[symbol]
+        return c + self.occ(symbol, top), c + self.occ(symbol, bot)
 
     def search(self, pattern: str) -> Tuple[int, int]:
         """Backward search; returns the suffix-array interval ``[top, bot)``.
@@ -156,10 +162,10 @@ class FMIndex:
         """
         if not pattern:
             raise ValueError("cannot search for an empty pattern")
-        codes = encode(pattern)
+        codes = encode(pattern)[::-1].tolist()
         top, bot = 0, self.num_rows
-        for symbol in codes[::-1]:
-            top, bot = self._step(int(symbol), top, bot)
+        for symbol in codes:
+            top, bot = self._step(symbol, top, bot)
             if top >= bot:
                 return top, top
         return top, bot
@@ -186,16 +192,22 @@ class FMIndex:
         """
         if not pattern:
             raise ValueError("cannot search for an empty pattern")
-        codes = encode(pattern)
+        codes = encode(pattern)[::-1].tolist()
         top, bot = 0, self.num_rows
-        for symbol in codes[::-1]:
-            blocks = []
-            for row in (top, bot):
-                block = self.block_of(row)
-                if block not in blocks:
-                    blocks.append(block)
-            top, bot = self._step(int(symbol), top, bot)
-            yield FMStepAccess(symbol=int(symbol), blocks=tuple(blocks), interval=(top, bot))
+        # ``block_of`` inlined (rows here are interval bounds, always in
+        # range): this loop runs once per search step of every seeding task.
+        per_block = self.BASES_PER_BLOCK
+        last_block = self.num_blocks - 1
+        for symbol in codes:
+            b_top = top // per_block
+            if b_top > last_block:
+                b_top = last_block
+            b_bot = bot // per_block
+            if b_bot > last_block:
+                b_bot = last_block
+            blocks = (b_top,) if b_top == b_bot else (b_top, b_bot)
+            top, bot = self._step(symbol, top, bot)
+            yield FMStepAccess(symbol=symbol, blocks=blocks, interval=(top, bot))
             if top >= bot:
                 return
 
@@ -209,12 +221,12 @@ class FMIndex:
         """
         if min_seed_length <= 0:
             raise ValueError("min_seed_length must be positive")
-        codes = encode(read)
+        codes = encode(read)[::-1].tolist()
         top, bot = 0, self.num_rows
         matched = 0
         best: Optional[Tuple[int, int, int]] = None
-        for symbol in codes[::-1]:
-            new_top, new_bot = self._step(int(symbol), top, bot)
+        for symbol in codes:
+            new_top, new_bot = self._step(symbol, top, bot)
             if new_top >= new_bot:
                 break
             top, bot = new_top, new_bot

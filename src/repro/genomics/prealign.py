@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class PrealignResult:
@@ -85,25 +87,40 @@ class ShoujiFilter:
             exact = reference_window[: len(read)] == read
             return PrealignResult(accepted=exact, estimated_edits=0 if exact else 1,
                                   threshold=0)
-        vectors = _diagonal_bitvectors(read, reference_window, self.max_edits)
+        # Vectorized equivalent of :func:`_diagonal_bitvectors` + the
+        # per-window best-diagonal selection (the pure-Python form is kept
+        # above as the readable reference).  Rows are diagonals -E..+E,
+        # columns are read positions; out-of-window positions hit the zero
+        # sentinel (no ASCII base is 0) and therefore mismatch.
         length = len(read)
+        max_edits = self.max_edits
+        span = 2 * max_edits + 1
+        read_codes = np.frombuffer(read.encode("ascii"), dtype=np.uint8)
+        win_codes = np.frombuffer(
+            reference_window.encode("ascii"), dtype=np.uint8
+        )
+        padded = np.zeros(length + span - 1, dtype=np.uint8)
+        visible = min(len(win_codes), length + max_edits)
+        padded[max_edits : max_edits + visible] = win_codes[:visible]
+        index = np.arange(span)[:, None] + np.arange(length)[None, :]
+        mismatch = (padded[index] != read_codes[None, :]).astype(np.uint8)
         # Shouji grid: choose, per sliding window, the diagonal segment with
         # the most matches; OR of chosen segments approximates the alignment.
-        combined = [1] * length
         step = self.window_size
-        for start in range(0, length, step):
-            end = min(start + step, length)
-            best_vec = None
-            best_matches = -1
-            for vec in vectors:
-                matches = sum(1 for i in range(start, end) if vec[i] == 0)
-                if matches > best_matches:
-                    best_matches = matches
-                    best_vec = vec
-            assert best_vec is not None
-            for i in range(start, end):
-                combined[i] = best_vec[i]
-        estimated = sum(combined)
+        chunks = -(-length // step)
+        pad = chunks * step - length
+        if pad:
+            # Zero padding counts as a match on every diagonal equally, so
+            # it changes neither the per-window argmin nor the total.
+            mismatch = np.concatenate(
+                [mismatch, np.zeros((span, pad), dtype=np.uint8)], axis=1
+            )
+        windows = mismatch.reshape(span, chunks, step)
+        # First index of the minimal mismatch count == the scalar loop's
+        # "first diagonal with strictly more matches" tie-break.
+        best = windows.sum(axis=2, dtype=np.int64).argmin(axis=0)
+        chosen = windows[best, np.arange(chunks), :]
+        estimated = int(chosen.sum(dtype=np.int64))
         return PrealignResult(
             accepted=estimated <= self.max_edits,
             estimated_edits=estimated,

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import re
 from typing import Union
 
 import numpy as np
@@ -51,9 +52,20 @@ def complement(base: str) -> str:
         raise ValueError(f"unknown base {base!r}") from None
 
 
+# Complement-and-uppercase translation table (lowercase input historically
+# complements to uppercase output), plus a validity scanner: ``str.translate``
+# silently passes unknown characters through, so invalid bases are detected
+# with one C-speed regex scan instead of a per-base dict lookup.
+_RC_TABLE = str.maketrans("ACGTNacgtn", "TGCANTGCAN")
+_INVALID_BASE = re.compile(r"[^ACGTNacgtn]")
+
+
 def reverse_complement(sequence: str) -> str:
     """Reverse complement of a DNA string."""
-    return "".join(complement(base) for base in reversed(sequence))
+    bad = _INVALID_BASE.search(sequence)
+    if bad is not None:
+        raise ValueError(f"unknown base {bad.group()!r}")
+    return sequence.translate(_RC_TABLE)[::-1]
 
 
 def random_genome(

@@ -35,8 +35,10 @@ TELEMETRY_SCHEMA = SCHEMAS["telemetry"]
 #: trajectory without flaking on scheduler jitter).
 DEFAULT_THRESHOLD = 0.75
 
-#: Bench payload schemas this gate knows how to read.
-_KNOWN_BENCH_SCHEMAS = ("repro-bench/1", SCHEMAS["bench"])
+#: Bench payload schemas this gate knows how to read: the current id
+#: plus the superseded bench ids (old baselines stay comparable — every
+#: bench version so far kept the per-figure events_per_sec/wall_s core).
+_KNOWN_BENCH_SCHEMAS = ("repro-bench/1", "repro-bench/2", SCHEMAS["bench"])
 
 
 class CompareError(ValueError):

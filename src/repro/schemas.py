@@ -27,7 +27,7 @@ from typing import Dict, FrozenSet
 
 #: family name -> the current schema id emitted for that artifact.
 SCHEMAS: Dict[str, str] = {
-    "bench": "repro-bench/2",
+    "bench": "repro-bench/3",
     "ledger": "repro-ledger/1",
     "lint": "repro-lint/2",
     "metrics": "repro-metrics/1",
@@ -39,6 +39,7 @@ SCHEMAS: Dict[str, str] = {
 #: Superseded ids that parsers may still accept but emitters must not use.
 LEGACY_SCHEMA_IDS: FrozenSet[str] = frozenset({
     "repro-bench/1",
+    "repro-bench/2",
     "repro-lint/1",
 })
 

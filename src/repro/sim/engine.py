@@ -1,24 +1,60 @@
 """Deterministic discrete-event engine.
 
-Events are ``(time, sequence, callback)`` triples in a binary heap.  The
-sequence number makes the ordering of same-cycle events deterministic and
-FIFO with respect to scheduling order, which keeps every simulation in this
-repository exactly reproducible: the same configuration and workload always
-produce the same cycle counts and energy totals.
+Events are kept in a pluggable :class:`~repro.sim.scheduler.Scheduler`
+(binary heap or calendar queue, see :mod:`repro.sim.scheduler`); ordering
+is by timestamp, FIFO within a cycle with respect to scheduling order.
+That keeps every simulation in this repository exactly reproducible — the
+same configuration and workload always produce the same cycle counts and
+energy totals, under either scheduler implementation.
+
+The run loop dispatches in *cycle batches*: the scheduler hands over one
+populated cycle's FIFO bucket as a live list, and the engine drains it by
+index without re-touching the priority structure per event.  Events
+scheduled for the current cycle while the batch drains append to the same
+live list, which reproduces the historical heap's ``(time, seq)`` pop
+order exactly.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, List, Optional, Tuple
+import contextlib
+import gc
+from typing import Any, Callable, Dict, Iterator, Optional, Union
+
+from repro.sim.scheduler import EventHandle, Scheduler, create_scheduler
 
 
 class SimulationError(RuntimeError):
     """Raised for invalid use of the engine (e.g. scheduling in the past)."""
 
 
+def _integral_time(time: Any, delay: Any) -> int:
+    """Coerce a non-``int`` event time to ``int``, rejecting fractions.
+
+    Event times are integer DRAM cycles; a fractional delay would silently
+    land on a wrong cycle (the old engine truncated via ``int(delay)``).
+    Integral floats and numpy integers are accepted and normalized.
+    """
+    try:
+        coerced = int(time)
+        exact = coerced == time
+    except (TypeError, ValueError, OverflowError):
+        coerced, exact = 0, False
+    if not exact:
+        raise SimulationError(
+            f"non-integral delay {delay!r}: event times are integer DRAM "
+            "cycles (round explicitly at the call site)"
+        )
+    return coerced
+
+
 class Engine:
     """Event-driven simulator with integer cycle timestamps.
+
+    ``scheduler`` selects the priority structure: a registry name
+    (``"heap"``/``"wheel"``), a ready :class:`Scheduler` instance, or
+    ``None`` to honour the ``REPRO_SCHEDULER`` environment variable
+    (default ``wheel``).  Results are bit-identical across schedulers.
 
     Example
     -------
@@ -34,6 +70,13 @@ class Engine:
     #: harness (``python -m repro bench``) reads deltas of this to report
     #: events/sec for a whole experiment campaign.
     _global_events_executed: int = 0
+
+    #: Process-wide scheduler occupancy totals, keyed by scheduler name.
+    #: Each :meth:`run` folds its scheduler's counter deltas in here, so
+    #: the perf harness can report batching behaviour (events per populated
+    #: cycle, largest batch) for a whole campaign without reaching into
+    #: individual engines.
+    _global_occupancy: dict = {}
 
     #: Recorder newly constructed engines adopt (see :mod:`repro.obs`).
     #: ``None`` keeps tracing disabled; instrument sites throughout the
@@ -51,10 +94,91 @@ class Engine:
         """Total events executed by all engines in this process."""
         return cls._global_events_executed
 
-    def __init__(self) -> None:
-        self._now: int = 0
-        self._seq: int = 0
-        self._queue: List[Tuple[int, int, Callable[[], Any]]] = []
+    @classmethod
+    def reset_process_counters(cls) -> None:
+        """Zero the process-wide event and occupancy counters.
+
+        The perf harness calls this at the start of each measured run so
+        events/sec never mixes in counts inherited from earlier work in
+        the same process (or, under ``fork``-based multiprocessing, from
+        the parent at fork time).
+        """
+        cls._global_events_executed = 0
+        cls._global_occupancy = {}
+
+    @classmethod
+    def process_occupancy(cls) -> dict:
+        """Scheduler occupancy totals since :meth:`reset_process_counters`.
+
+        Maps scheduler name to ``events_enqueued`` / ``cycles_started`` /
+        ``max_batch`` / ``avg_batch`` aggregated over every completed
+        :meth:`run` in this process.
+        """
+        report = {}
+        for name, totals in cls._global_occupancy.items():
+            cycles = totals["cycles_started"]
+            report[name] = {
+                "events_enqueued": totals["events_enqueued"],
+                "cycles_started": cycles,
+                "max_batch": totals["max_batch"],
+                # repro: allow[int-cycle-arithmetic] -- derived reporting
+                # ratio for the bench payload; never feeds back into timing.
+                "avg_batch": totals["events_enqueued"] / cycles if cycles else 0.0,
+            }
+        return report
+
+    @classmethod
+    @contextlib.contextmanager
+    def record_delay_histogram(cls) -> Iterator[Dict[int, int]]:
+        """Count every scheduled delay, process-wide, while active.
+
+        Profiling aid behind ``python -m repro profile --delays`` — the
+        measured delay distribution is what the calendar scheduler's
+        bucketing is tuned against.  Purely observational: the wrapped
+        scheduling methods record the delay then delegate, so event order
+        and results are untouched.  Zero cost when inactive: the hot
+        ``schedule`` path carries no histogram branch; the counting
+        wrappers are installed on the class only while the context is
+        entered (which also makes the context non-reentrant and
+        process-global, like the tracer).  Yields the live histogram
+        mapping delay (cycles) -> times scheduled.
+        """
+        histogram: Dict[int, int] = {}
+        plain, absolute, cancellable = (
+            cls.schedule, cls.schedule_at, cls.schedule_cancellable)
+
+        def counting_schedule(self, delay, callback):
+            histogram[delay] = histogram.get(delay, 0) + 1
+            return plain(self, delay, callback)
+
+        def counting_schedule_at(self, time, callback):
+            delay = time - self.now
+            histogram[delay] = histogram.get(delay, 0) + 1
+            return absolute(self, time, callback)
+
+        def counting_schedule_cancellable(self, delay, callback):
+            histogram[delay] = histogram.get(delay, 0) + 1
+            return cancellable(self, delay, callback)
+
+        cls.schedule = counting_schedule
+        cls.schedule_at = counting_schedule_at
+        cls.schedule_cancellable = counting_schedule_cancellable
+        try:
+            yield histogram
+        finally:
+            cls.schedule = plain
+            cls.schedule_at = absolute
+            cls.schedule_cancellable = cancellable
+
+    def __init__(self, scheduler: Union[str, Scheduler, None] = None) -> None:
+        #: Current simulation time in DRAM cycles.  A plain attribute on
+        #: purpose: this is the single most-read value in the simulator
+        #: and a property costs a descriptor call per read.  Only the run
+        #: loop writes it.
+        self.now: int = 0
+        self._scheduler: Scheduler = create_scheduler(scheduler)
+        #: Bound push, saving a descriptor walk on every schedule call.
+        self._push = self._scheduler.push
         self._events_executed: int = 0
         self._running: bool = False
         self._stopped: bool = False
@@ -65,11 +189,15 @@ class Engine:
         #: Identity of this engine on a shared trace timeline.
         self.trace_id: int = Engine._next_trace_id
         Engine._next_trace_id += 1
+        #: High-water marks of this engine's scheduler counters already
+        #: folded into :attr:`_global_occupancy` (see :meth:`run`).
+        self._occ_enqueued_folded: int = 0
+        self._occ_cycles_folded: int = 0
 
     @property
-    def now(self) -> int:
-        """Current simulation time in DRAM cycles."""
-        return self._now
+    def scheduler(self) -> Scheduler:
+        """The priority structure backing this engine (read-only)."""
+        return self._scheduler
 
     @property
     def events_executed(self) -> int:
@@ -78,30 +206,66 @@ class Engine:
 
     @property
     def pending_events(self) -> int:
-        """Number of events currently waiting in the queue."""
-        return len(self._queue)
+        """Number of events currently waiting in the queue (cancelled
+        handles still count until their cycle comes up)."""
+        return len(self._scheduler)
 
     def schedule(self, delay: int, callback: Callable[[], Any]) -> None:
         """Schedule ``callback`` to run ``delay`` cycles from now.
 
-        ``delay`` must be a non-negative integer; a delay of zero runs the
-        callback later in the current cycle, after already-queued events for
-        this cycle.
+        ``delay`` must be a non-negative integral number of cycles; a
+        fractional delay raises :class:`SimulationError` (it would
+        otherwise silently land on the wrong cycle).  A delay of zero runs
+        the callback later in the current cycle, after already-queued
+        events for this cycle.
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay} cycles in the past")
-        self._seq += 1
-        heapq.heappush(self._queue, (self._now + int(delay), self._seq, callback))
+        time = self.now + delay
+        if type(time) is not int:
+            time = _integral_time(time, delay)
+        self._push(time, callback)
 
     def schedule_at(self, time: int, callback: Callable[[], Any]) -> None:
         """Schedule ``callback`` at absolute cycle ``time`` (>= now)."""
-        if time < self._now:
+        if time < self.now:
             raise SimulationError(
-                f"cannot schedule at cycle {time}; current cycle is {self._now}"
+                f"cannot schedule at cycle {time}; current cycle is {self.now}"
             )
-        # repro: allow[nonneg-schedule-delay] -- the raise above guarantees
-        # time >= self._now, so the subtraction cannot go negative.
-        self.schedule(time - self._now, callback)
+        if type(time) is not int:
+            time = _integral_time(time, time - self.now)
+        self._push(time, callback)
+
+    def schedule_cancellable(
+        self, delay: int, callback: Callable[[], Any]
+    ) -> EventHandle:
+        """Like :meth:`schedule`, returning a cancellable handle.
+
+        ``handle.cancel()`` retracts the event in O(1) without touching
+        the priority structure; a cancelled event's callback is skipped
+        when its cycle arrives (the empty dispatch slot still counts as an
+        executed event, like the fire-and-bail wakeups it replaces).  Use
+        this for timeout/wakeup events usually superseded before firing.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} cycles in the past")
+        time = self.now + delay
+        if type(time) is not int:
+            time = _integral_time(time, delay)
+        handle = EventHandle(callback)
+        self._push(time, handle)
+        return handle
+
+    def reschedule(self, handle: Optional[EventHandle], delay: int) -> EventHandle:
+        """Supersede ``handle`` (if any) with a fresh one ``delay`` from now.
+
+        Cancels the old handle and schedules its callback again — or, when
+        ``handle`` is ``None``, this is just :meth:`schedule_cancellable`.
+        """
+        if handle is None:
+            raise SimulationError("reschedule() needs a handle to supersede")
+        handle.cancel()
+        return self.schedule_cancellable(delay, handle.fn)
 
     def stop(self) -> None:
         """Stop the current :meth:`run` after the executing event returns."""
@@ -128,35 +292,123 @@ class Engine:
         self._running = True
         self._stopped = False
         executed_this_run = 0
+        sched = self._scheduler
+        budget = -1
+        if max_events is not None:
+            # The historical loop checked `executed >= max_events` after
+            # each event, so a non-positive budget still ran one event.
+            budget = max_events if max_events > 0 else 1
+        # Event dispatch allocates heavily (messages, requests, partials)
+        # but the objects are acyclic and die young; pausing the cyclic
+        # collector for the duration of the drain removes periodic
+        # whole-heap scans from the hot loop.  Purely an allocator
+        # setting — simulation order and results are unaffected.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        # Bound methods hoisted out of the loop: three attribute walks per
+        # populated cycle add up over hundreds of thousands of cycles.
+        next_time = sched.next_time
+        start_cycle = sched.start_cycle
+        finish_cycle = sched.finish_cycle
         try:
-            while self._queue and not self._stopped:
-                time, _seq, callback = self._queue[0]
-                if until is not None and time > until:
-                    self._now = until
+            while not self._stopped:
+                time = next_time()
+                if time is None:
                     break
-                heapq.heappop(self._queue)
-                self._now = time
-                callback()
-                self._events_executed += 1
-                executed_this_run += 1
-                if (
-                    max_events is not None
-                    and executed_this_run >= max_events
-                    and self._queue
-                    and not self._stopped
-                ):
-                    raise SimulationError(
-                        f"exceeded max_events={max_events}; "
-                        "simulation is probably not converging"
-                    )
-            if until is not None and not self._queue and self._now < until:
-                self._now = until
+                if until is not None and time > until:
+                    self.now = until
+                    break
+                self.now = time
+                # Drain this cycle's FIFO by index; same-cycle schedules
+                # append to `batch` and are picked up by the same sweep.
+                batch = start_cycle()
+                i = 0
+                aborted = False
+                if budget < 0:
+                    # Common case (no max_events): the only per-event
+                    # bookkeeping is the stop flag; the executed count is
+                    # settled in one add after the sweep.  ``len(batch)``
+                    # is re-read every iteration on purpose: same-cycle
+                    # schedules grow the live list mid-drain.
+                    while i < len(batch):
+                        event = batch[i]
+                        i += 1
+                        if event.__class__ is EventHandle:
+                            # A cancelled handle is dropped here, but still
+                            # counts as a dispatched event: it occupied a
+                            # queue slot and a dispatch turn, exactly like
+                            # the fire-and-bail wakeup events this mechanism
+                            # replaced (keeping event accounting comparable).
+                            if not event.cancelled:
+                                event.fn()
+                        else:
+                            event()
+                        if self._stopped:
+                            aborted = True
+                            break
+                    executed_this_run += i
+                else:
+                    while i < len(batch):
+                        event = batch[i]
+                        i += 1
+                        if event.__class__ is EventHandle:
+                            if not event.cancelled:
+                                event.fn()
+                        else:
+                            event()
+                        executed_this_run += 1
+                        if self._stopped or executed_this_run == budget:
+                            aborted = True
+                            break
+                if aborted:
+                    # Keep the unconsumed remainder queued; a later run()
+                    # resumes exactly where this one left off.
+                    del batch[:i]
+                    if not batch:
+                        finish_cycle()
+                    if (
+                        executed_this_run == budget
+                        and not self._stopped
+                        and len(sched)
+                    ):
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; "
+                            "simulation is probably not converging"
+                        )
+                    break
+                finish_cycle()
+            if until is not None and not len(sched) and self.now < until:
+                self.now = until
         finally:
+            if gc_was_enabled:
+                gc.enable()
             self._running = False
+            self._events_executed += executed_this_run
+            totals = Engine._global_occupancy.get(sched.name)
+            if totals is None:
+                totals = Engine._global_occupancy[sched.name] = {
+                    "events_enqueued": 0, "cycles_started": 0, "max_batch": 0,
+                }
+            # Fold this engine's not-yet-folded scheduler counters into
+            # the process totals.  High-water marks (rather than a
+            # run-start snapshot) also credit events scheduled *before*
+            # run() and survive multiple run() calls without double
+            # counting.
+            totals["events_enqueued"] += (
+                sched.events_enqueued - self._occ_enqueued_folded
+            )
+            totals["cycles_started"] += (
+                sched.cycles_started - self._occ_cycles_folded
+            )
+            self._occ_enqueued_folded = sched.events_enqueued
+            self._occ_cycles_folded = sched.cycles_started
+            if sched.max_batch > totals["max_batch"]:
+                totals["max_batch"] = sched.max_batch
             Engine._global_events_executed += executed_this_run
             if self.tracer:
                 # Purely observational: lets the profiler use the exact
                 # final clock as its utilization denominator instead of
                 # approximating runtime from the last event timestamp.
-                self.tracer.note_runtime(self.trace_id, self._now)
-        return self._now
+                self.tracer.note_runtime(self.trace_id, self.now)
+        return self.now

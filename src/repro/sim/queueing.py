@@ -45,19 +45,24 @@ class BoundedQueue(Generic[T]):
         self.capacity = capacity
         self._items: Deque[T] = deque()
         self._dead: Dict[int, T] = {}
+        # Live occupancy, maintained incrementally: the controller's
+        # scheduling passes probe len()/bool() far more often than they
+        # push or remove, so deriving it from the deque and tombstone
+        # table on every probe showed up in profiles.
+        self._live = 0
         self._subscribers: List[Callable[[], None]] = []
         self.pushes = 0
         self.pops = 0
         self.max_occupancy = 0
 
     def __len__(self) -> int:
-        return len(self._items) - len(self._dead)
+        return self._live
 
     def __bool__(self) -> bool:
-        return len(self._items) > len(self._dead)
+        return self._live > 0
 
     def full(self) -> bool:
-        return self.capacity is not None and len(self) >= self.capacity
+        return self.capacity is not None and self._live >= self.capacity
 
     def empty(self) -> bool:
         return not self
@@ -68,7 +73,9 @@ class BoundedQueue(Generic[T]):
             raise QueueFullError(f"queue '{self.name}' full (capacity={self.capacity})")
         self._items.append(item)
         self.pushes += 1
-        self.max_occupancy = max(self.max_occupancy, len(self))
+        self._live += 1
+        if self._live > self.max_occupancy:
+            self.max_occupancy = self._live
         for notify in self._subscribers:
             notify()
 
@@ -91,6 +98,7 @@ class BoundedQueue(Generic[T]):
         if not self._items:
             raise IndexError(f"pop from empty queue '{self.name}'")
         self.pops += 1
+        self._live -= 1
         return self._items.popleft()
 
     def peek(self) -> T:
@@ -122,6 +130,7 @@ class BoundedQueue(Generic[T]):
                 )
                 self._dead.clear()
         self.pops += 1
+        self._live -= 1
 
     def items(self) -> Iterator[T]:
         """Iterate over the live items in FIFO order (read-only use by

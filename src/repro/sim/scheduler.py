@@ -1,0 +1,292 @@
+"""Pluggable event schedulers for the discrete-event engine.
+
+The engine used to own a single binary heap of ``(time, sequence,
+callback)`` triples.  This module extracts that priority structure behind a
+small interface so alternative implementations can be swapped in without
+touching engine semantics:
+
+* :class:`HeapScheduler` — the reference implementation: one binary heap of
+  ``(time, seq, event)`` triples, exactly the engine's historical
+  behaviour.
+* :class:`CalendarScheduler` — a calendar queue tuned to this simulator's
+  delay distribution (``python -m repro profile --delays`` shows the vast
+  majority of delays land within a few hundred cycles and many events
+  share a cycle): events live in per-cycle FIFO buckets keyed by absolute
+  time, and only the *distinct* timestamps go through a heap.  Same-cycle
+  events cost one dict lookup + list append instead of a heap push, a
+  whole cycle pops with one heap pop, and empty stretches of simulated
+  time are skipped without touching anything (idle fast-forward).
+
+Both schedulers implement the same *batched dispatch* contract: the engine
+asks for the next populated cycle, receives that cycle's FIFO bucket as a
+live list, and drains it by index.  Events scheduled for the current cycle
+while the batch is draining append to the same live list, which preserves
+the engine's historical same-cycle FIFO semantics bit-for-bit — the parity
+suite (``tests/test_scheduler_parity.py``) asserts byte-identical result
+fingerprints between the two implementations on every bench figure.
+
+Scheduler choice: ``Engine(scheduler=...)`` accepts a registry name or a
+ready instance; the ``REPRO_SCHEDULER`` environment variable selects the
+process-wide default (``wheel`` when unset).
+
+Events themselves are *slim*: a bucket entry is either a bare callable
+(zero bookkeeping allocated per event) or an :class:`EventHandle` — a
+slotted two-field record returned by ``Engine.schedule_cancellable`` that
+supports O(1) cancellation without removing anything from the priority
+structure (the engine skips cancelled handles when their cycle arrives).
+"""
+
+from __future__ import annotations
+
+import os
+from heapq import heappop, heappush
+from typing import Callable, Dict, List, Optional, Union
+
+
+class EventHandle:
+    """A cancellable scheduled event (see ``Engine.schedule_cancellable``).
+
+    Slotted and minimal on purpose: the hot path stores bare callables in
+    the scheduler buckets, and only call sites that may need to retract or
+    supersede an event (controller wakeups, packer flush timers) pay for a
+    handle.  Cancellation is O(1): the handle is flagged and the engine
+    drops it, without running the callback, when its cycle comes up.
+    """
+
+    __slots__ = ("fn", "cancelled")
+
+    def __init__(self, fn: Callable[[], None]) -> None:
+        self.fn = fn
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Retract the event; a no-op if it already ran or was cancelled."""
+        self.cancelled = True
+
+    @property
+    def active(self) -> bool:
+        """Whether the event can still fire."""
+        return not self.cancelled
+
+
+#: A scheduler bucket entry: a bare callback or a cancellable handle.
+Event = Union[Callable[[], None], EventHandle]
+
+
+class Scheduler:
+    """Interface between the engine and a priority structure of events.
+
+    The engine drives a scheduler through a strict cycle protocol::
+
+        t = sched.next_time()        # earliest populated cycle (or None)
+        batch = sched.start_cycle()  # live FIFO bucket for cycle t
+        ...                          # engine drains batch by index;
+                                     # same-cycle push() appends to batch
+        sched.finish_cycle()         # bucket fully drained: discard it
+
+    If the engine aborts mid-batch (``stop()``/``max_events``), it removes
+    the consumed prefix from the live list instead of calling
+    :meth:`finish_cycle`; the remainder stays queued and a later
+    :meth:`next_time` resumes the same cycle.
+
+    ``push`` must preserve FIFO order among events pushed for the same
+    cycle — that ordering *is* the simulator's determinism contract.
+    """
+
+    #: Registry key (subclasses set their own).
+    name = "abstract"
+
+    def push(self, time: int, event: Event) -> None:
+        raise NotImplementedError
+
+    def next_time(self) -> Optional[int]:
+        """Earliest cycle holding at least one event, or ``None``."""
+        raise NotImplementedError
+
+    def start_cycle(self) -> List[Event]:
+        """The live FIFO bucket for the cycle ``next_time`` returned."""
+        raise NotImplementedError
+
+    def finish_cycle(self) -> None:
+        """Discard the (fully drained) current bucket."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    # -- occupancy accounting (sampled at cycle starts; see occupancy()) ----
+
+    cycles_started = 0
+    events_enqueued = 0
+    max_batch = 0
+
+    def occupancy(self) -> Dict[str, object]:
+        """Cheap occupancy statistics for the perf harness.
+
+        ``max_batch`` is the largest bucket size observed *at cycle start*
+        (same-cycle events appended mid-drain are counted in
+        ``events_enqueued`` but not re-sampled), ``avg_batch`` the mean
+        events dispatched per populated cycle.
+        """
+        cycles = self.cycles_started
+        return {
+            "scheduler": self.name,
+            "events_enqueued": self.events_enqueued,
+            "cycles_started": cycles,
+            "max_batch": self.max_batch,
+            # repro: allow[int-cycle-arithmetic] -- post-run reporting
+            # ratio for the bench report; never feeds back into timing.
+            "avg_batch": (self.events_enqueued / cycles) if cycles else 0.0,
+        }
+
+
+class HeapScheduler(Scheduler):
+    """Reference scheduler: one binary heap of ``(time, seq, event)``.
+
+    This is the engine's historical data structure, kept as the baseline
+    the calendar queue is verified against.  Batched dispatch pops every
+    entry of the minimum timestamp into an active list in one go; pushes
+    for the active cycle append to that list directly (their sequence
+    numbers would have ordered them after every already-popped entry
+    anyway, so FIFO order is preserved exactly).
+    """
+
+    name = "heap"
+
+    def __init__(self) -> None:
+        self._heap: List[tuple] = []
+        self._seq = 0
+        self._batch: List[Event] = []
+        self._batch_time = 0
+
+    def push(self, time: int, event: Event) -> None:
+        self.events_enqueued += 1
+        if self._batch and time == self._batch_time:
+            self._batch.append(event)
+            return
+        self._seq += 1
+        heappush(self._heap, (time, self._seq, event))
+
+    def next_time(self) -> Optional[int]:
+        if self._batch:
+            return self._batch_time
+        if self._heap:
+            return self._heap[0][0]
+        return None
+
+    def start_cycle(self) -> List[Event]:
+        batch = self._batch
+        if not batch:
+            heap = self._heap
+            time = heap[0][0]
+            self._batch_time = time
+            while heap and heap[0][0] == time:
+                batch.append(heappop(heap)[2])
+        self.cycles_started += 1
+        if len(batch) > self.max_batch:
+            self.max_batch = len(batch)
+        return batch
+
+    def finish_cycle(self) -> None:
+        self._batch.clear()
+
+    def __len__(self) -> int:
+        return len(self._heap) + len(self._batch)
+
+
+class CalendarScheduler(Scheduler):
+    """Calendar queue: per-cycle FIFO buckets + a heap of distinct times.
+
+    ``_buckets`` maps absolute cycle -> list of events in scheduling
+    order; ``_times`` is a small heap of the distinct populated cycles.
+    Pushing into an existing cycle never touches the heap, so the heap
+    sees one entry per *cycle* rather than one per *event* — with this
+    simulator's heavily clustered delays that cuts priority-structure
+    traffic by the mean batch size.  Because a bucket's append order
+    equals the engine's scheduling order, pop order is identical to
+    :class:`HeapScheduler`'s ``(time, seq)`` order by construction.
+
+    Drained buckets are recycled through a small freelist so steady-state
+    execution allocates no per-cycle lists either.
+    """
+
+    name = "wheel"
+
+    #: Cap on retained drained buckets (lists) for reuse.
+    FREELIST_CAP = 64
+
+    def __init__(self) -> None:
+        self._buckets: Dict[int, List[Event]] = {}
+        self._times: List[int] = []
+        self._free: List[List[Event]] = []
+
+    def push(self, time: int, event: Event) -> None:
+        self.events_enqueued += 1
+        try:
+            self._buckets[time].append(event)
+        except KeyError:
+            if self._free:
+                bucket = self._free.pop()
+                bucket.append(event)
+            else:
+                bucket = [event]
+            self._buckets[time] = bucket
+            heappush(self._times, time)
+
+    def next_time(self) -> Optional[int]:
+        times = self._times
+        if times:
+            return times[0]
+        return None
+
+    def start_cycle(self) -> List[Event]:
+        batch = self._buckets[self._times[0]]
+        self.cycles_started += 1
+        if len(batch) > self.max_batch:
+            self.max_batch = len(batch)
+        return batch
+
+    def finish_cycle(self) -> None:
+        time = heappop(self._times)
+        bucket = self._buckets.pop(time)
+        if len(self._free) < self.FREELIST_CAP:
+            bucket.clear()
+            self._free.append(bucket)
+
+    def __len__(self) -> int:
+        return sum(len(b) for b in self._buckets.values())
+
+
+#: Registry of scheduler implementations, keyed by their CLI/env names.
+SCHEDULERS: Dict[str, type] = {
+    HeapScheduler.name: HeapScheduler,
+    CalendarScheduler.name: CalendarScheduler,
+}
+
+#: Environment variable selecting the process-wide default scheduler.
+SCHEDULER_ENV = "REPRO_SCHEDULER"
+
+#: Used when neither ``Engine(scheduler=...)`` nor the env var chooses.
+DEFAULT_SCHEDULER = CalendarScheduler.name
+
+
+def create_scheduler(choice: Union[str, Scheduler, None] = None) -> Scheduler:
+    """Build the scheduler ``Engine`` should use.
+
+    ``choice`` may be a registry name (``"heap"``/``"wheel"``), a ready
+    :class:`Scheduler` instance (adopted as-is), or ``None`` — in which
+    case the ``REPRO_SCHEDULER`` environment variable decides, falling
+    back to :data:`DEFAULT_SCHEDULER`.
+    """
+    if isinstance(choice, Scheduler):
+        return choice
+    name = choice or os.environ.get(SCHEDULER_ENV) or DEFAULT_SCHEDULER
+    try:
+        cls = SCHEDULERS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCHEDULERS))
+        raise ValueError(
+            f"unknown scheduler {name!r} (known: {known}); check the "
+            f"scheduler argument or the {SCHEDULER_ENV} environment variable"
+        ) from None
+    return cls()

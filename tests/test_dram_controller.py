@@ -243,9 +243,9 @@ class TestPlanCache:
         engine, dimm, ctrl = make_setup()
         mapping = RankInterleaveMapping(GEO)
         done = []
-        submit(ctrl, mapping, 0, size=64, done=done)
+        req = submit(ctrl, mapping, 0, size=64, done=done)
         engine.run()
-        assert done and not ctrl._plan_cache
+        assert done and req.plan_entry is None
 
 
 class TestInvalidationEpochs:

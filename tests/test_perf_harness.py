@@ -81,11 +81,13 @@ def test_events_per_sec_guards_zero_wall():
 def test_run_bench_writes_verified_baseline(tmp_path):
     output = tmp_path / "BENCH_results.json"
     payload = run_bench(figures=["fig13"], jobs=1, verify=True,
-                        output=str(output), progress=None)
+                        output=str(output), progress=None, repeats=1)
 
     assert payload["schema"] == BENCH_SCHEMA
     assert payload["scale"] == "quick"
     assert payload["jobs"] == 1
+    assert payload["repeats"] == 1
+    assert payload["previous"] is None  # nothing overwritten
     entry = payload["figures"]["fig13"]
     assert entry["wall_s"] > 0
     assert entry["events"] > 0
@@ -93,6 +95,18 @@ def test_run_bench_writes_verified_baseline(tmp_path):
     # The bit-identical check against the serial/uncached reference ran
     # and passed — the whole point of the harness.
     assert entry["verified_identical"] is True
+    # repro-bench/3: the scheduler used, its occupancy, and a timed
+    # comparison run under every other registered scheduler (with
+    # fingerprint parity asserted inside bench_figures).
+    assert entry["scheduler"] == "wheel"
+    occ = entry["occupancy"]["wheel"]
+    assert occ["events_enqueued"] > 0
+    assert occ["cycles_started"] > 0
+    assert occ["max_batch"] >= 1
+    assert occ["avg_batch"] > 0
+    heap_run = entry["schedulers"]["heap"]
+    assert heap_run["events_per_sec"] > 0
+    assert heap_run["verified_identical"] is True
     assert payload["total_wall_s"] >= entry["wall_s"]
 
     on_disk = json.loads(output.read_text())
@@ -100,8 +114,33 @@ def test_run_bench_writes_verified_baseline(tmp_path):
     assert on_disk["figures"]["fig13"]["verified_identical"] is True
 
 
+def test_run_bench_embeds_previous_baseline(tmp_path):
+    output = tmp_path / "BENCH_results.json"
+    output.write_text(json.dumps({
+        "schema": "repro-bench/2",
+        "created_unix": 123.0,
+        "figures": {"fig13": {"events_per_sec": 50.0, "wall_s": 1.0}},
+    }))
+    payload = run_bench(figures=["fig13"], jobs=1, verify=False,
+                        output=str(output), progress=None, repeats=1,
+                        schedulers=())
+    previous = payload["previous"]
+    assert previous["schema"] == "repro-bench/2"
+    assert previous["created_unix"] == 123.0
+    assert previous["events_per_sec"] == {"fig13": 50.0}
+    expected = payload["figures"]["fig13"]["events_per_sec"] / 50.0
+    assert previous["geomean_speedup"] == pytest.approx(expected)
+
+
 def test_bench_without_verify_skips_reference(tmp_path):
     results = bench_figures(figures=["fig13"], jobs=1, verify=False)
     (entry,) = results
     assert entry.name == "fig13"
     assert entry.verified_identical is None
+    assert entry.schedulers is None  # no comparison runs requested
+
+
+def test_bench_rejects_unknown_scheduler():
+    with pytest.raises(ValueError, match="unknown schedulers"):
+        bench_figures(figures=["fig13"], verify=False,
+                      schedulers=["splay-tree"])
